@@ -1,0 +1,37 @@
+"""Shared fixtures for the benchmark harness.
+
+The paper experiments (base + FT run per app) execute once per session
+and are shared by every table/figure benchmark. Set ``REPRO_BENCH_SCALE``
+to ``smoke`` for a fast pass or ``default`` (the calibrated scale used in
+EXPERIMENTS.md).
+"""
+
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "default")
+
+
+@pytest.fixture(scope="session")
+def experiments():
+    from repro.harness.tables import run_all_experiments
+
+    return run_all_experiments(scale=SCALE)
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    out = os.path.join(os.path.dirname(__file__), "results")
+    os.makedirs(out, exist_ok=True)
+    return out
+
+
+def emit(results_dir: str, name: str, text: str) -> None:
+    """Print a report and persist it under benchmarks/results/."""
+    print("\n" + text)
+    with open(os.path.join(results_dir, f"{name}.txt"), "w") as f:
+        f.write(text + "\n")

@@ -1,0 +1,45 @@
+"""Figure 3 — normalized execution-time breakdown, base vs fault-tolerant.
+
+Shape targets: base bars sum to 100 %; the FT bars add a visible
+Log & Ckp component; and for Barnes the dominant FT delta is the
+*barrier wait* (paper: 12 % → 28 % of execution time), which is the
+signature of independent checkpointing interfering with global
+synchronization.
+"""
+
+from conftest import emit
+
+from repro.harness.figures import figure3, figure3_table
+
+
+def test_figure3(experiments, results_dir, benchmark):
+    t = benchmark.pedantic(lambda: figure3_table(experiments), rounds=1, iterations=1)
+    emit(results_dir, "figure3", t.render())
+
+    data = figure3(experiments)
+    for name, bars in data.items():
+        assert abs(sum(bars["base"].values()) - 100.0) < 1e-6
+        assert sum(bars["ft"].values()) >= 100.0 - 1e-6
+        assert bars["ft"]["Log & Ckp"] > 0.0, f"{name}: FT added no log/ckp time"
+        assert bars["base"]["Log & Ckp"] == 0.0
+
+
+def test_barnes_barrier_wait_inflates(experiments, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    data = figure3(experiments)
+    bars = data["barnes"]
+    deltas = {
+        k: bars["ft"][k] - bars["base"][k] for k in bars["base"] if k != "Log & Ckp"
+    }
+    assert bars["ft"]["Barrier wait"] > bars["base"]["Barrier wait"]
+    assert deltas["Barrier wait"] == max(deltas.values()), deltas
+
+
+def test_waters_ft_bars_close_to_base(experiments, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    """The Water apps' total FT bar stays within ~15 % of base (paper:
+    0.6 % and 7 %)."""
+    data = figure3(experiments)
+    for name in ("water-nsq", "water-spatial"):
+        total_ft = sum(data[name]["ft"].values())
+        assert total_ft < 115.0, f"{name}: FT bar {total_ft:.1f}%"

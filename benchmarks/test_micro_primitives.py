@@ -1,0 +1,69 @@
+"""Microbenchmarks for the hot primitives (pytest-benchmark proper)."""
+
+import numpy as np
+
+from repro.dsm.diff import apply_diff, compute_diff
+from repro.dsm.interval import NoticeTable
+from repro.dsm.messages import WriteNotice
+from repro.dsm.pages import PageId
+from repro.dsm.vclock import VClock
+
+PAGE = 4096
+
+
+def _page_pair(change_fraction=0.1, seed=0):
+    rng = np.random.default_rng(seed)
+    twin = rng.integers(0, 256, PAGE, dtype=np.uint8)
+    cur = twin.copy()
+    n = int(PAGE * change_fraction)
+    idx = rng.choice(PAGE, n, replace=False)
+    cur[idx] = cur[idx] + 1  # uint8 wraps around naturally
+    return twin, cur
+
+
+def test_bench_compute_diff_sparse(benchmark):
+    twin, cur = _page_pair(0.02)
+    d = benchmark(compute_diff, twin, cur)
+    assert not d.empty
+
+
+def test_bench_compute_diff_dense(benchmark):
+    twin, cur = _page_pair(0.5)
+    d = benchmark(compute_diff, twin, cur)
+    assert d.payload_bytes > 1000
+
+
+def test_bench_compute_diff_identical(benchmark):
+    twin, _ = _page_pair()
+    d = benchmark(compute_diff, twin, twin.copy())
+    assert d.empty
+
+
+def test_bench_apply_diff(benchmark):
+    twin, cur = _page_pair(0.1)
+    d = compute_diff(twin, cur)
+    target = twin.copy()
+
+    def run():
+        apply_diff(target, d)
+
+    benchmark(run)
+
+
+def test_bench_vclock_join(benchmark):
+    a = VClock(range(8))
+    b = VClock(range(8, 0, -1))
+    out = benchmark(lambda: a.join(b).leq(a))
+    assert out is False
+
+
+def test_bench_notice_table_between(benchmark):
+    t = NoticeTable(8)
+    for c in range(8):
+        for i in range(1, 101):
+            vt = VClock.zero(8).with_component(c, i)
+            t.add(WriteNotice(c, i, PageId(0, i % 16), vt))
+    low = VClock((20,) * 8)
+    high = VClock((80,) * 8)
+    out = benchmark(t.between, low, high)
+    assert len(out) == 8 * 60

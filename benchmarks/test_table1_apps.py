@@ -1,0 +1,39 @@
+"""Table 1 — application characteristics (footprint, base execution time).
+
+Regenerates the paper's Table 1 on the scaled workloads and benchmarks
+one full base-protocol run of each application.
+"""
+
+from conftest import SCALE, emit
+
+from repro.harness.experiment import paper_setups, run_base
+from repro.harness.tables import table1
+
+
+def test_table1(experiments, results_dir, benchmark):
+    t = benchmark.pedantic(lambda: table1(experiments), rounds=1, iterations=1)
+    emit(results_dir, "table1", t.render())
+    # shape assertions: Barnes runs longest (it did in the paper's wall
+    # clock too, per-step), Water-Spatial has the largest footprint of
+    # the two Waters (paper: 257 MB vs 12.6 MB)
+    rows = {r[0]: r for r in t.rows}
+    assert set(rows) == {"barnes", "water-nsq", "water-spatial"}
+    base_times = {n: experiments[n][0].result.wall_time for n in rows}
+    assert base_times["barnes"] == max(base_times.values())
+    fp = {n: experiments[n][0].result.footprint_bytes for n in rows}
+    assert fp["water-spatial"] > fp["water-nsq"] or SCALE == "smoke"
+
+
+def test_bench_base_run_barnes(benchmark):
+    setup = [s for s in paper_setups("smoke") if s.name == "barnes"][0]
+    benchmark.pedantic(lambda: run_base(setup), rounds=1, iterations=1)
+
+
+def test_bench_base_run_water_nsq(benchmark):
+    setup = [s for s in paper_setups("smoke") if s.name == "water-nsq"][0]
+    benchmark.pedantic(lambda: run_base(setup), rounds=1, iterations=1)
+
+
+def test_bench_base_run_water_spatial(benchmark):
+    setup = [s for s in paper_setups("smoke") if s.name == "water-spatial"][0]
+    benchmark.pedantic(lambda: run_base(setup), rounds=1, iterations=1)

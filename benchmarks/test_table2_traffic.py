@@ -1,0 +1,25 @@
+"""Table 2 — message-traffic overhead of the piggybacked CGC/LLT data.
+
+Paper: the control traffic is 0.15-0.25 % of base protocol traffic. We
+assert it stays a small single-digit percentage on the scaled runs
+(smaller messages make the relative overhead a little larger here).
+"""
+
+from conftest import emit
+
+from repro.harness.experiment import paper_setups, run_ft
+from repro.harness.tables import table2
+
+
+def test_table2(experiments, results_dir, benchmark):
+    t = benchmark.pedantic(lambda: table2(experiments), rounds=1, iterations=1)
+    emit(results_dir, "table2", t.render())
+    for name, (_base, ft) in experiments.items():
+        pct = ft.result.traffic.ft_overhead_percent()
+        assert pct < 5.0, f"{name}: piggyback overhead {pct:.2f}% too high"
+        assert ft.result.traffic.ft_bytes > 0, f"{name}: no control data flowed"
+
+
+def test_bench_ft_run_with_piggyback(benchmark):
+    setup = [s for s in paper_setups("smoke") if s.name == "water-spatial"][0]
+    benchmark.pedantic(lambda: run_ft(setup), rounds=1, iterations=1)

@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Writing your own DSM application: 1-D heat diffusion with halos.
+
+Demonstrates the application contract from scratch: allocate shared
+regions, keep private state in the checkpointable dict, structure the
+run as resumable phases, and validate against a sequential model. The
+stencil reads one halo element from each neighbour's partition — a
+classic nearest-neighbour sharing pattern none of the bundled SPLASH
+analogs has.
+
+    python examples/heat_diffusion.py
+"""
+
+import numpy as np
+
+from repro import DsmCluster, DsmConfig
+from repro.apps.base import DsmApp, block_partition, phase_loop
+from repro.core import LogOverflowPolicy
+
+
+class HeatApp(DsmApp):
+    name = "heat-1d"
+
+    def __init__(self, n_cells=256, steps=20, alpha=0.2):
+        self.n = n_cells
+        self.steps = steps
+        self.alpha = alpha
+
+    # -- setup -------------------------------------------------------------
+    def configure(self, cluster):
+        # double buffering: read from `cur`, write to `nxt`, swap by step
+        self.r_a = cluster.allocate("temp_a", self.n)
+        self.r_b = cluster.allocate("temp_b", self.n)
+
+    def init_shared(self, cluster):
+        x = np.linspace(0, 1, self.n)
+        cluster.write_initial(self.r_a, np.exp(-((x - 0.5) ** 2) / 0.01))
+
+    def init_state(self, pid):
+        return {"step": 0, "phase": 0}
+
+    # -- the process body ----------------------------------------------------
+    def run(self, proc, state):
+        part = block_partition(self.n, proc.n, proc.pid)
+        lo, hi = part.start, part.stop
+
+        def phase_stencil(proc, state, step):
+            cur = self.r_a if step % 2 == 0 else self.r_b
+            nxt = self.r_b if step % 2 == 0 else self.r_a
+            # read own partition plus one halo cell on each side
+            rlo, rhi = max(0, lo - 1), min(self.n, hi + 1)
+            src = yield from proc.read_range(cur, rlo, rhi)
+            src = np.asarray(src)
+            out = yield from proc.write_range(nxt, lo, hi)
+            for k in range(lo, hi):
+                left = src[k - 1 - rlo] if k > 0 else src[k - rlo]
+                right = src[k + 1 - rlo] if k < self.n - 1 else src[k - rlo]
+                mid = src[k - rlo]
+                out[k - lo] = mid + self.alpha * (left + right - 2 * mid)
+            yield from proc.compute(1e-6 * (hi - lo))
+            yield from proc.barrier()
+
+        yield from phase_loop(proc, state, self.steps, [phase_stencil])
+
+    # -- validation -----------------------------------------------------------
+    def reference(self):
+        x = np.linspace(0, 1, self.n)
+        t = np.exp(-((x - 0.5) ** 2) / 0.01)
+        for _ in range(self.steps):
+            left = np.concatenate(([t[0]], t[:-1]))
+            right = np.concatenate((t[1:], [t[-1]]))
+            t = t + self.alpha * (left + right - 2 * t)
+        return t
+
+    def check_result(self, cluster):
+        final = self.r_a if self.steps % 2 == 0 else self.r_b
+        got = np.asarray(cluster.shared_snapshot(final))[: self.n]
+        np.testing.assert_allclose(got, self.reference(), rtol=1e-10)
+
+    def final_field(self, cluster):
+        final = self.r_a if self.steps % 2 == 0 else self.r_b
+        return np.asarray(cluster.shared_snapshot(final))[: self.n]
+
+
+def main():
+    app = HeatApp(n_cells=256, steps=20)
+    cluster = DsmCluster(
+        DsmConfig(num_procs=8),
+        ft=True,
+        policy_factory=lambda pid, fp: LogOverflowPolicy(0.1, fp),
+    )
+    # crash the middle process halfway through, just to show off
+    cluster.schedule_crash(4, at_time=5e-3)
+    result = cluster.run(app)
+
+    field = app.final_field(cluster)
+    peak = field.max()
+    print(f"ran {app.steps} stencil steps on 8 simulated nodes "
+          f"(crashes={result.crashes}, recoveries={result.recoveries})")
+    print(f"virtual time {result.wall_time*1e3:.2f} ms, "
+          f"{result.traffic.total_msgs} messages")
+    print(f"peak temperature {peak:.4f} (diffused from 1.0)")
+    print("result matches the sequential model exactly.")
+    # crude profile
+    bins = field.reshape(16, -1).mean(axis=1)
+    scale = 40 / bins.max()
+    for i, b in enumerate(bins):
+        print(f"  x={i/16:4.2f} " + "#" * int(b * scale))
+
+
+if __name__ == "__main__":
+    main()

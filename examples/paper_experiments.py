@@ -1,0 +1,40 @@
+#!/usr/bin/env python3
+"""Regenerate every table and figure from the paper's evaluation (§5).
+
+    python examples/paper_experiments.py [smoke|default]
+
+``smoke`` (~5 s) runs tiny problems; ``default`` (~1 min) is the
+calibrated scale recorded in EXPERIMENTS.md.
+"""
+
+import sys
+import time
+
+from repro.harness.figures import figure3_table, figure4_render
+from repro.harness.tables import (
+    run_all_experiments,
+    table1,
+    table2,
+    table3,
+    table4,
+)
+
+
+def main() -> None:
+    scale = sys.argv[1] if len(sys.argv) > 1 else "default"
+    t0 = time.time()
+    print(f"running the three paper workloads (scale={scale}, "
+          f"base + fault-tolerant each) ...")
+    experiments = run_all_experiments(scale=scale)
+    print(f"done in {time.time() - t0:.1f}s of host time\n")
+
+    for fn in (table1, table2, table3, table4):
+        print(fn(experiments).render())
+        print()
+    print(figure3_table(experiments).render())
+    print()
+    print(figure4_render(experiments))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,22 @@
+"""repro — reproduction of "Scalable Fault-Tolerant Distributed Shared
+Memory" (Sultan, Nguyen, Iftode; SC 2000).
+
+A home-based lazy release consistency (HLRC) software DSM extended with
+independent checkpointing, sender-based volatile logging, Lazy Log
+Trimming (LLT) and Checkpoint Garbage Collection (CGC), plus full
+log-based single-fault recovery — all running on a deterministic
+discrete-event cluster simulator.
+
+Public entry points::
+
+    from repro import DsmCluster, DsmConfig
+    from repro.core import LogOverflowPolicy
+    from repro.apps import BarnesApp, WaterNsqApp, WaterSpatialApp
+"""
+
+from repro.cluster import DsmCluster, RunResult
+from repro.dsm.config import DsmConfig
+
+__version__ = "1.0.0"
+
+__all__ = ["DsmCluster", "RunResult", "DsmConfig", "__version__"]

@@ -1,0 +1,210 @@
+"""Command-line runner: ``python -m repro [options] <app>``.
+
+Examples::
+
+    python -m repro water-spatial
+    python -m repro barnes --procs 8 --ft --l 0.25 --crash 3@0.5
+    python -m repro counter --ft --coordinated --wan 5e-3 --trace lock,ckpt
+    python -m repro tables --scale smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Any, Optional
+
+from repro import DsmCluster, DsmConfig
+from repro.core import LogOverflowPolicy
+from repro.sim.network import MetaClusterConfig, NetworkConfig
+from repro.sim.node import TimeBucket
+
+APPS = ["counter", "barnes", "water-nsq", "water-spatial", "lu", "tables"]
+
+
+def make_app(name: str, steps: Optional[int], size: Optional[int]) -> Any:
+    from repro.apps.barnes import BarnesApp, BarnesConfig
+    from repro.apps.counter import CounterApp, CounterConfig
+    from repro.apps.lu import LuApp, LuConfig
+    from repro.apps.water_nsq import WaterNsqApp, WaterNsqConfig
+    from repro.apps.water_spatial import WaterSpatialApp, WaterSpatialConfig
+
+    if name == "counter":
+        cfg = CounterConfig()
+        if steps:
+            cfg.steps = steps
+        if size:
+            cfg.n_elements = size
+        return CounterApp(cfg)
+    if name == "barnes":
+        cfg = BarnesConfig()
+        if steps:
+            cfg.steps = steps
+        if size:
+            cfg.n_bodies = size
+        return BarnesApp(cfg)
+    if name == "water-nsq":
+        cfg = WaterNsqConfig()
+        if steps:
+            cfg.steps = steps
+        if size:
+            cfg.n_molecules = size
+        return WaterNsqApp(cfg)
+    if name == "water-spatial":
+        cfg = WaterSpatialConfig()
+        if steps:
+            cfg.steps = steps
+        if size:
+            cfg.n_molecules = size
+        return WaterSpatialApp(cfg)
+    if name == "lu":
+        cfg = LuConfig()
+        if size:
+            cfg.matrix_size = size
+        return LuApp(cfg)
+    raise ValueError(f"unknown app {name!r}")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Run a DSM workload on the simulated fault-tolerant "
+        "HLRC cluster (SC 2000 reproduction).",
+    )
+    p.add_argument("app", choices=APPS, help="workload, or 'tables' for the paper harness")
+    p.add_argument("--procs", type=int, default=8, help="cluster size (default 8)")
+    p.add_argument("--steps", type=int, default=None, help="application steps")
+    p.add_argument("--size", type=int, default=None, help="problem size (app-specific)")
+    p.add_argument("--ft", action="store_true", help="enable fault tolerance")
+    p.add_argument("--l", type=float, default=0.1, help="OF policy L fraction")
+    p.add_argument(
+        "--coordinated",
+        action="store_true",
+        help="use the coordinated-checkpointing baseline instead of the "
+        "paper's independent scheme",
+    )
+    p.add_argument(
+        "--crash",
+        metavar="PID@FRAC",
+        default=None,
+        help="fail-stop PID at FRAC of the failure-free runtime (e.g. 3@0.5)",
+    )
+    p.add_argument(
+        "--wan",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="meta-cluster mode: split the cluster in two halves joined "
+        "by a WAN link with this one-way latency",
+    )
+    p.add_argument(
+        "--trace",
+        default=None,
+        metavar="KINDS",
+        help="comma-separated trace kinds (send,lock,barrier,flush,fetch,ckpt,failure)",
+    )
+    p.add_argument("--trace-limit", type=int, default=60)
+    p.add_argument("--scale", default="smoke", choices=["smoke", "default"],
+                   help="scale for the 'tables' harness")
+    return p
+
+
+def make_cluster(args: argparse.Namespace) -> DsmCluster:
+    net = NetworkConfig()
+    if args.wan is not None:
+        net = MetaClusterConfig(
+            cluster_size=max(1, args.procs // 2), wan_latency=args.wan
+        )
+    kwargs = dict(
+        config=DsmConfig(num_procs=args.procs),
+        net_config=net,
+    )
+    if not args.ft:
+        return DsmCluster(**kwargs)
+    if args.coordinated:
+        from repro.baselines import coordinated_cluster
+
+        kwargs.pop("config")
+        return coordinated_cluster(
+            DsmConfig(num_procs=args.procs), l_fraction=args.l, net_config=net
+        )
+    return DsmCluster(
+        ft=True,
+        policy_factory=lambda pid, fp: LogOverflowPolicy(args.l, fp),
+        **kwargs,
+    )
+
+
+def main(argv: Optional[list] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.app == "tables":
+        from repro.harness.figures import figure3_table, figure4_render
+        from repro.harness.tables import (
+            run_all_experiments,
+            table1,
+            table2,
+            table3,
+            table4,
+        )
+
+        ex = run_all_experiments(scale=args.scale)
+        for fn in (table1, table2, table3, table4):
+            print(fn(ex).render(), end="\n\n")
+        print(figure3_table(ex).render(), end="\n\n")
+        print(figure4_render(ex))
+        return 0
+
+    if args.crash and not args.ft:
+        print("--crash requires --ft", file=sys.stderr)
+        return 2
+
+    # failure-free pass to learn the runtime if a crash is requested
+    crash_spec = None
+    if args.crash:
+        pid_s, frac_s = args.crash.split("@")
+        golden = make_cluster(args)
+        t_free = golden.run(make_app(args.app, args.steps, args.size)).wall_time
+        crash_spec = (int(pid_s), float(frac_s) * t_free)
+
+    cluster = make_cluster(args)
+    tracer = None
+    if args.trace:
+        from repro.sim.trace import Tracer
+
+        tracer = Tracer(cluster, kinds=args.trace.split(","))
+    if crash_spec:
+        cluster.schedule_crash(*crash_spec)
+
+    t0 = time.time()
+    result = cluster.run(make_app(args.app, args.steps, args.size))
+    host_s = time.time() - t0
+
+    print(f"app           {args.app} on {args.procs} simulated nodes")
+    print(f"virtual time  {result.wall_time * 1e3:10.3f} ms")
+    print(f"host time     {host_s * 1e3:10.0f} ms")
+    print(f"messages      {result.traffic.total_msgs:10d}  "
+          f"({result.traffic.total_bytes / 1e6:.2f} MB)")
+    mean = result.mean_time_stats
+    total = mean.total or 1.0
+    breakdown = "  ".join(
+        f"{b.value}={100 * mean.seconds[b] / total:.0f}%" for b in TimeBucket
+    )
+    print(f"time buckets  {breakdown}")
+    if args.ft:
+        ckpts = sum(s.checkpoints_taken for s in result.ft_stats if s)
+        print(f"checkpoints   {ckpts:10d}")
+        print(f"ft piggyback  {result.traffic.ft_bytes:10d} bytes "
+              f"({result.traffic.ft_overhead_percent():.2f} %)")
+    if result.crashes:
+        print(f"failures      {result.crashes} crash(es), "
+              f"{result.recoveries} recover(ies) — results verified")
+    if tracer:
+        print("\ntrace:")
+        print(tracer.render(limit=args.trace_limit))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

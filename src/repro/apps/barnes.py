@@ -1,0 +1,481 @@
+"""Barnes-Hut N-body analog (SPLASH-2 Barnes).
+
+Reproduces the sharing pattern that makes Barnes the paper's stress case
+(§5.2): a **shared octree** rebuilt every step (so the diff volume per
+byte of footprint is the largest of the three apps — the paper needed
+L = 1.0 for it), **irregular access**, **many barriers per step** (six
+phases), and **imbalanced update volume**: bodies are partitioned by
+distance from the cluster center, so the process owning the dense core
+inserts deeper into the tree, writes more node pages and computes more
+interactions — exactly the imbalance that, combined with the
+log-overflow checkpointing policy, inflates barrier wait times in the
+fault-tolerant run.
+
+The octree is canonical (its shape does not depend on insertion order),
+so a sequential golden model reproduces the distributed result bit-for-
+bit modulo node numbering — which the result check exploits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Tuple
+
+import numpy as np
+
+from repro.apps.base import AppConfig, DsmApp, block_partition, phase_loop
+from repro.dsm.protocol import DsmProcess
+
+__all__ = ["BarnesConfig", "BarnesApp"]
+
+# node record layout (float64 slots)
+F_TYPE = 0  # 0 empty slot, 1 leaf, 2 internal
+F_BODY = 1
+F_CX, F_CY, F_CZ = 2, 3, 4
+F_HALF = 5
+F_MASS = 6
+F_MX, F_MY, F_MZ = 7, 8, 9
+F_CHILD0 = 10
+NODE_W = 18
+EMPTY, LEAF, INTERNAL = 0.0, 1.0, 2.0
+
+ALLOC_LOCK = 0
+OCTANT_LOCK0 = 1  # locks 1..8
+
+
+@dataclass
+class BarnesConfig(AppConfig):
+    """Scaled-down Barnes problem (paper: 262,144 bodies, 60 steps)."""
+
+    n_bodies: int = 128
+    steps: int = 4
+    theta: float = 0.6
+    dt: float = 1e-2
+    max_nodes: int = 0  # 0 = auto (8 * n_bodies)
+    max_depth: int = 24
+    alloc_chunk: int = 16
+    insert_cost: float = 1e-6  # per level descended
+    com_cost: float = 0.5e-6  # per node
+    force_cost: float = 1e-6  # per interaction
+    softening: float = 1e-2
+
+    def nodes_cap(self) -> int:
+        # ~2 internal nodes per body in practice, plus slack for deep
+        # splits and per-process chunked allocation (chunks are
+        # discarded at each rebuild)
+        return self.max_nodes or int(2.5 * self.n_bodies) + 320
+
+
+def plummer_bodies(cfg: BarnesConfig) -> Tuple[np.ndarray, np.ndarray]:
+    """Plummer-sphere initial conditions, sorted by radius (core first)."""
+    rng = np.random.default_rng(cfg.seed)
+    n = cfg.n_bodies
+    u = rng.uniform(0.05, 0.95, n)
+    r = 1.0 / np.sqrt(u ** (-2.0 / 3.0) - 1.0)
+    costh = rng.uniform(-1, 1, n)
+    phi = rng.uniform(0, 2 * np.pi, n)
+    sinth = np.sqrt(1 - costh**2)
+    pos = (r[:, None]) * np.stack(
+        [sinth * np.cos(phi), sinth * np.sin(phi), costh], axis=-1
+    )
+    order = np.argsort(np.einsum("ij,ij->i", pos, pos))
+    pos = pos[order]
+    vel = rng.normal(0, 0.02, (n, 3))[order]
+    return pos, vel
+
+
+class _Tree:
+    """Octree operations over a flat node array (shared or local)."""
+
+    def __init__(self, nodes: np.ndarray, cfg: BarnesConfig) -> None:
+        self.nodes = nodes.reshape(-1, NODE_W)
+        self.cfg = cfg
+        #: node indices modified since construction (drives precise
+        #: write-range declarations in the DSM app)
+        self.touched: set = set()
+
+    # -- geometry ---------------------------------------------------------
+    @staticmethod
+    def octant_of(node_rec: np.ndarray, p: np.ndarray) -> int:
+        return (
+            (1 if p[0] >= node_rec[F_CX] else 0)
+            | (2 if p[1] >= node_rec[F_CY] else 0)
+            | (4 if p[2] >= node_rec[F_CZ] else 0)
+        )
+
+    @staticmethod
+    def child_center(node_rec: np.ndarray, octant: int) -> Tuple[float, float, float, float]:
+        h = node_rec[F_HALF] / 2.0
+        cx = node_rec[F_CX] + (h if octant & 1 else -h)
+        cy = node_rec[F_CY] + (h if octant & 2 else -h)
+        cz = node_rec[F_CZ] + (h if octant & 4 else -h)
+        return cx, cy, cz, h
+
+    def init_internal(self, idx: int, cx: float, cy: float, cz: float, h: float) -> None:
+        rec = self.nodes[idx]
+        rec[:] = 0.0
+        rec[F_TYPE] = INTERNAL
+        rec[F_CX], rec[F_CY], rec[F_CZ] = cx, cy, cz
+        rec[F_HALF] = h
+        rec[F_CHILD0 : F_CHILD0 + 8] = -1.0
+        self.touched.add(idx)
+
+    def init_leaf(self, idx: int, body: int, cx: float, cy: float, cz: float, h: float) -> None:
+        rec = self.nodes[idx]
+        rec[:] = 0.0
+        rec[F_TYPE] = LEAF
+        rec[F_BODY] = float(body)
+        rec[F_CX], rec[F_CY], rec[F_CZ] = cx, cy, cz
+        rec[F_HALF] = h
+        rec[F_CHILD0 : F_CHILD0 + 8] = -1.0
+        self.touched.add(idx)
+
+    # -- insertion (canonical octree; order-independent shape) ------------
+    def insert(
+        self, root: int, body: int, p: np.ndarray, alloc: "Allocator"
+    ) -> int:
+        """Insert ``body`` under ``root``; returns levels descended."""
+        node = root
+        depth = 0
+        while True:
+            depth += 1
+            if depth > self.cfg.max_depth:
+                raise RuntimeError("octree depth cap exceeded (coincident bodies?)")
+            rec = self.nodes[node]
+            oct_ = self.octant_of(rec, p)
+            child = int(rec[F_CHILD0 + oct_])
+            if child < 0:
+                idx = alloc.take()
+                cx, cy, cz, h = self.child_center(rec, oct_)
+                self.init_leaf(idx, body, cx, cy, cz, h)
+                rec[F_CHILD0 + oct_] = float(idx)
+                self.touched.add(node)
+                return depth
+            crec = self.nodes[child]
+            if crec[F_TYPE] == LEAF:
+                # split: the leaf becomes internal; re-descend both bodies
+                other = int(crec[F_BODY])
+                cx, cy, cz, h = crec[F_CX], crec[F_CY], crec[F_CZ], crec[F_HALF]
+                self.init_internal(child, cx, cy, cz, h)
+                # re-insert displaced body from this internal node
+                depth += self._place(child, other, alloc)
+                node = child
+            else:
+                node = child
+
+    def _place(self, node: int, body: int, alloc: "Allocator") -> int:
+        """Place a single displaced body under ``node`` (no conflicts)."""
+        depth = 0
+        p = alloc.pos[body]
+        while True:
+            depth += 1
+            rec = self.nodes[node]
+            oct_ = self.octant_of(rec, p)
+            child = int(rec[F_CHILD0 + oct_])
+            if child < 0:
+                idx = alloc.take()
+                cx, cy, cz, h = self.child_center(rec, oct_)
+                self.init_leaf(idx, body, cx, cy, cz, h)
+                rec[F_CHILD0 + oct_] = float(idx)
+                self.touched.add(node)
+                return depth
+            node = child  # descend (only happens after repeated splits)
+
+    # -- center of mass -----------------------------------------------------
+    def compute_com(self, root: int, pos: np.ndarray) -> int:
+        """Post-order mass/COM accumulation; returns nodes visited."""
+        visited = 0
+        stack = [(root, False)]
+        while stack:
+            node, expanded = stack.pop()
+            rec = self.nodes[node]
+            if rec[F_TYPE] == LEAF:
+                b = int(rec[F_BODY])
+                rec[F_MASS] = 1.0
+                rec[F_MX : F_MZ + 1] = pos[b]
+                visited += 1
+                continue
+            if not expanded:
+                stack.append((node, True))
+                for o in range(8):
+                    child = int(rec[F_CHILD0 + o])
+                    if child >= 0:
+                        stack.append((child, False))
+            else:
+                mass = 0.0
+                com = np.zeros(3)
+                for o in range(8):
+                    child = int(rec[F_CHILD0 + o])
+                    if child < 0:
+                        continue
+                    crec = self.nodes[child]
+                    mass += crec[F_MASS]
+                    com += crec[F_MASS] * crec[F_MX : F_MZ + 1]
+                rec[F_MASS] = mass
+                rec[F_MX : F_MZ + 1] = com / mass if mass > 0 else 0.0
+                visited += 1
+        return visited
+
+    # -- force ---------------------------------------------------------------
+    def force_on(self, root: int, body: int, p: np.ndarray) -> Tuple[np.ndarray, int]:
+        cfg = self.cfg
+        acc = np.zeros(3)
+        interactions = 0
+        stack = [root]
+        eps2 = cfg.softening**2
+        while stack:
+            node = stack.pop()
+            rec = self.nodes[node]
+            if rec[F_TYPE] == EMPTY or rec[F_MASS] <= 0.0:
+                continue
+            d = rec[F_MX : F_MZ + 1] - p
+            r2 = float(d @ d) + eps2
+            if rec[F_TYPE] == LEAF:
+                if int(rec[F_BODY]) != body:
+                    acc += rec[F_MASS] * d / (r2 * np.sqrt(r2))
+                    interactions += 1
+                continue
+            size = 2.0 * rec[F_HALF]
+            if size * size < cfg.theta**2 * r2:
+                acc += rec[F_MASS] * d / (r2 * np.sqrt(r2))
+                interactions += 1
+            else:
+                for o in range(7, -1, -1):
+                    child = int(rec[F_CHILD0 + o])
+                    if child >= 0:
+                        stack.append(child)
+        return acc, interactions
+
+
+class Allocator:
+    """Node allocation front-end; shared-counter or local."""
+
+    def __init__(self, pos: np.ndarray) -> None:
+        self.pos = pos
+        self.take = lambda: (_ for _ in ()).throw(RuntimeError("unbound"))  # type: ignore
+
+
+def reference_barnes(cfg: BarnesConfig) -> np.ndarray:
+    """Sequential golden model; bitwise-identical physics."""
+    pos, vel = plummer_bodies(cfg)
+    n = cfg.n_bodies
+    nodes = np.zeros(cfg.nodes_cap() * NODE_W)
+    tree = _Tree(nodes, cfg)
+    for _ in range(cfg.steps):
+        lo, hi = pos.min(axis=0), pos.max(axis=0)
+        center = (lo + hi) / 2.0
+        half = float((hi - lo).max() / 2.0 * 1.01 + 1e-9)
+        alloc = Allocator(pos)
+        counter = [0]
+
+        def take() -> int:
+            counter[0] += 1
+            if counter[0] >= cfg.nodes_cap():
+                raise RuntimeError("node pool exhausted")
+            return counter[0]
+
+        alloc.take = take
+        root = take()
+        tree.init_internal(root, center[0], center[1], center[2], half)
+        for b in range(n):
+            tree.insert(root, b, pos[b], alloc)
+        tree.compute_com(root, pos)
+        acc = np.zeros_like(pos)
+        for b in range(n):
+            acc[b], _ = tree.force_on(root, b, pos[b])
+        vel += cfg.dt * acc
+        pos = pos + cfg.dt * vel
+    return pos
+
+
+class BarnesApp(DsmApp):
+    name = "barnes"
+
+    def __init__(self, cfg: BarnesConfig | None = None) -> None:
+        self.cfg = cfg or BarnesConfig()
+
+    # ------------------------------------------------------------------
+    def configure(self, cluster: Any) -> None:
+        cfg = self.cfg
+        n = cfg.n_bodies
+        self.r_pos = cluster.allocate("pos", n * 3)
+        self.r_vel = cluster.allocate("vel", n * 3)
+        self.r_acc = cluster.allocate("acc", n * 3)
+        self.r_nodes = cluster.allocate("nodes", cfg.nodes_cap() * NODE_W)
+        # [next_free, root, bbox per proc (6 each)]
+        self.r_meta = cluster.allocate("meta", 2 + cluster.config.num_procs * 6)
+
+    def init_shared(self, cluster: Any) -> None:
+        pos, vel = plummer_bodies(self.cfg)
+        cluster.write_initial(self.r_pos, pos.ravel())
+        cluster.write_initial(self.r_vel, vel.ravel())
+
+    def init_state(self, pid: int) -> Dict[str, Any]:
+        return {"step": 0, "phase": 0}
+
+    # ------------------------------------------------------------------
+    def run(self, proc: DsmProcess, state: Dict[str, Any]) -> Iterator[Any]:
+        cfg = self.cfg
+        n = cfg.n_bodies
+        part = block_partition(n, proc.n, proc.pid)
+        app = self
+
+        def phase_bbox(proc: DsmProcess, state: Dict, step: int) -> Iterator[Any]:
+            flat = yield from proc.read_range(app.r_pos, part.start * 3, part.stop * 3)
+            p = flat.reshape(-1, 3)
+            base = 2 + proc.pid * 6
+            view = yield from proc.write_range(app.r_meta, base, base + 6)
+            view[0:3] = p.min(axis=0)
+            view[3:6] = p.max(axis=0)
+            yield from proc.barrier()
+
+        def phase_treeinit(proc: DsmProcess, state: Dict, step: int) -> Iterator[Any]:
+            if proc.pid == 0:
+                meta = yield from proc.read_range(
+                    app.r_meta, 2, 2 + proc.n * 6
+                )
+                boxes = meta.reshape(proc.n, 6)
+                lo = boxes[:, 0:3].min(axis=0)
+                hi = boxes[:, 3:6].max(axis=0)
+                center = (lo + hi) / 2.0
+                half = float((hi - lo).max() / 2.0 * 1.01 + 1e-9)
+                head = yield from proc.write_range(app.r_meta, 0, 2)
+                root = 1
+                head[0] = 2.0  # next free node
+                head[1] = float(root)
+                nview = yield from proc.write_range(
+                    app.r_nodes, root * NODE_W, (root + 1) * NODE_W
+                )
+                tree = _Tree(nview, cfg)
+                tree.init_internal(0, center[0], center[1], center[2], half)
+                yield from proc.compute(cfg.com_cost * 4)
+            yield from proc.barrier()
+
+        def phase_insert(proc: DsmProcess, state: Dict, step: int) -> Iterator[Any]:
+            flat = yield from proc.read_range(app.r_pos, 0, n * 3)
+            pos = flat.reshape(n, 3).copy()
+            head = yield from proc.read_range(app.r_meta, 0, 2)
+            root = int(head[1])
+            rootrec = (
+                yield from proc.read_range(
+                    app.r_nodes, root * NODE_W, (root + 1) * NODE_W
+                )
+            ).copy()
+            # group own bodies by top-level octant; one lock hold per octant
+            octs: Dict[int, List[int]] = {}
+            for b in part:
+                octs.setdefault(_Tree.octant_of(rootrec, pos[b]), []).append(b)
+
+            chunk: List[int] = []
+            alloc = Allocator(pos)
+
+            def take() -> int:
+                if not chunk:
+                    raise RuntimeError(
+                        "node chunk ran dry mid-insert; raise alloc_chunk "
+                        "(pathologically deep split)"
+                    )
+                return chunk.pop(0)
+
+            alloc.take = take
+            need = cfg.alloc_chunk  # headroom for one insertion's splits
+
+            def refill() -> Iterator[Any]:
+                # grab node ids from the shared counter in chunks
+                yield from proc.acquire(ALLOC_LOCK)
+                hview = yield from proc.write_range(app.r_meta, 0, 1)
+                start = int(hview[0])
+                take_n = max(cfg.alloc_chunk, need)
+                if start + take_n > cfg.nodes_cap():
+                    raise RuntimeError("node pool exhausted")
+                hview[0] = float(start + take_n)
+                yield from proc.release(ALLOC_LOCK)
+                chunk.extend(range(start, start + take_n))
+
+            for oct_ in sorted(octs):
+                yield from proc.acquire(OCTANT_LOCK0 + oct_)
+                nview = yield from proc.read_range(
+                    app.r_nodes, 0, cfg.nodes_cap() * NODE_W
+                )
+                local = nview.copy()
+                orig = local.copy()
+                tree = _Tree(local, cfg)
+                levels = 0
+                for b in octs[oct_]:
+                    if len(chunk) < need:
+                        yield from refill()
+                    levels += tree.insert(root, b, pos[b], alloc)
+                # publish exactly the *elements* this process stored — a
+                # bulk copy-back would also write stale unchanged bytes,
+                # which on the writer's own homed pages would clobber
+                # concurrently applied remote diffs
+                for idx in sorted(tree.touched):
+                    lo, hi = idx * NODE_W, (idx + 1) * NODE_W
+                    changed = local[lo:hi] != orig[lo:hi]
+                    if not changed.any():
+                        continue
+                    view = yield from proc.write_range(app.r_nodes, lo, hi)
+                    view[changed] = local[lo:hi][changed]
+                yield from proc.compute(cfg.insert_cost * max(levels, 1))
+                yield from proc.release(OCTANT_LOCK0 + oct_)
+            yield from proc.barrier()
+
+        def phase_com(proc: DsmProcess, state: Dict, step: int) -> Iterator[Any]:
+            if proc.pid == 0:
+                flat = yield from proc.read_range(app.r_pos, 0, n * 3)
+                pos = flat.reshape(n, 3).copy()
+                head = yield from proc.read_range(app.r_meta, 0, 2)
+                root, used = int(head[1]), int(head[0])
+                nview = yield from proc.write_range(
+                    app.r_nodes, 0, used * NODE_W
+                )
+                tree = _Tree(nview, cfg)
+                visited = tree.compute_com(root, pos)
+                yield from proc.compute(cfg.com_cost * visited)
+            yield from proc.barrier()
+
+        def phase_force(proc: DsmProcess, state: Dict, step: int) -> Iterator[Any]:
+            flat = yield from proc.read_range(app.r_pos, 0, n * 3)
+            pos = flat.reshape(n, 3).copy()
+            head = yield from proc.read_range(app.r_meta, 0, 2)
+            root = int(head[1])
+            nview = yield from proc.read_range(app.r_nodes, 0, cfg.nodes_cap() * NODE_W)
+            tree = _Tree(nview.copy(), cfg)
+            aview = yield from proc.write_range(
+                app.r_acc, part.start * 3, part.stop * 3
+            )
+            a = aview.reshape(-1, 3)
+            total = 0
+            for k, b in enumerate(part):
+                a[k], inter = tree.force_on(root, b, pos[b])
+                total += inter
+            yield from proc.compute(cfg.force_cost * max(total, 1))
+            yield from proc.barrier()
+
+        def phase_advance(proc: DsmProcess, state: Dict, step: int) -> Iterator[Any]:
+            aview = yield from proc.read_range(app.r_acc, part.start * 3, part.stop * 3)
+            vview = yield from proc.write_range(app.r_vel, part.start * 3, part.stop * 3)
+            pview = yield from proc.write_range(app.r_pos, part.start * 3, part.stop * 3)
+            vview += cfg.dt * aview
+            pview += cfg.dt * vview
+            yield from proc.barrier()
+
+        yield from phase_loop(
+            proc,
+            state,
+            cfg.steps,
+            [
+                phase_bbox,
+                phase_treeinit,
+                phase_insert,
+                phase_com,
+                phase_force,
+                phase_advance,
+            ],
+        )
+
+    # ------------------------------------------------------------------
+    def check_result(self, cluster: Any) -> None:
+        got = cluster.shared_snapshot(self.r_pos)[: self.cfg.n_bodies * 3]
+        want = reference_barnes(self.cfg).ravel()
+        np.testing.assert_allclose(got, want, rtol=1e-9, atol=1e-12)

@@ -1,0 +1,105 @@
+"""Application contract for DSM workloads.
+
+An application is written against the public DSM API
+(:class:`repro.dsm.protocol.DsmProcess`) as a coroutine. Two rules make
+it checkpointable and replayable (DESIGN.md §1, "processor state"
+substitution):
+
+1. **All private mutable state lives in the ``state`` dict** handed to
+   :meth:`DsmApp.run` (NumPy arrays, scalars, seeded RNGs — anything
+   pickleable). Locals are fine only if derived deterministically from
+   ``state`` and shared reads.
+2. **``run`` is resumable**: given a ``state`` captured at any
+   ``proc.ckpt_point()`` it continues exactly where that state says.
+   The :func:`phase_loop` helper structures an app as numbered phases per
+   step and inserts the safe points so that rule 2 holds by construction.
+
+Determinism: any randomness must come from RNGs stored in ``state`` (so
+they are checkpointed) and seeded from the app config.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.dsm.config import DsmConfig
+from repro.dsm.protocol import DsmProcess
+
+__all__ = ["AppConfig", "DsmApp", "phase_loop", "block_partition"]
+
+
+@dataclass
+class AppConfig:
+    """Base class for per-application configuration."""
+
+    steps: int = 4
+    seed: int = 42
+
+
+class DsmApp:
+    """One shared-memory workload."""
+
+    name: str = "app"
+
+    def configure(self, cluster: Any) -> None:
+        """Allocate shared regions (and optionally assign homes)."""
+        raise NotImplementedError
+
+    def init_shared(self, cluster: Any) -> None:
+        """Fill initial shared contents (before sharing starts).
+
+        Runs once, outside the simulation, writing directly into every
+        process's backing store so all copies begin identical — the
+        stand-in for the sequential initialization phase of SPLASH-2
+        programs.
+        """
+
+    def init_state(self, pid: int) -> Dict[str, Any]:
+        """The initial private (checkpointable) state of process ``pid``."""
+        raise NotImplementedError
+
+    def run(self, proc: DsmProcess, state: Dict[str, Any]) -> Iterator[Any]:
+        """The process body (coroutine). Must follow the resumability rules."""
+        raise NotImplementedError
+
+    def check_result(self, cluster: Any) -> None:
+        """Optional invariant check on the final shared memory (tests)."""
+
+
+PhaseFn = Callable[[DsmProcess, Dict[str, Any], int], Iterator[Any]]
+
+
+def phase_loop(
+    proc: DsmProcess,
+    state: Dict[str, Any],
+    steps: int,
+    phases: Sequence[PhaseFn],
+) -> Iterator[Any]:
+    """Run ``phases`` for each step, resumable from ``state``.
+
+    ``state['step']`` / ``state['phase']`` encode the position; a
+    checkpoint-safe point precedes every phase, so a restored state
+    re-enters exactly at the phase it was captured before.
+    """
+    state.setdefault("step", 0)
+    state.setdefault("phase", 0)
+    while state["step"] < steps:
+        while state["phase"] < len(phases):
+            yield from proc.ckpt_point()
+            yield from phases[state["phase"]](proc, state, state["step"])
+            state["phase"] += 1
+        state["phase"] = 0
+        state["step"] += 1
+    yield from proc.ckpt_point()
+
+
+def block_partition(n_items: int, n_procs: int, pid: int) -> range:
+    """Contiguous block partition of ``range(n_items)`` for ``pid``."""
+    base = n_items // n_procs
+    extra = n_items % n_procs
+    lo = pid * base + min(pid, extra)
+    hi = lo + base + (1 if pid < extra else 0)
+    return range(lo, hi)

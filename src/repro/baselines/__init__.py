@@ -1,0 +1,26 @@
+"""Comparison baselines from the paper's related-work section (§2).
+
+* :mod:`repro.baselines.page_logging` — whole-page logging in the style
+  of Richard & Singhal [25] ("Whole pages are logged ... which, combined
+  with their large size, makes the scheme very expensive"). Used by the
+  ablation benchmark to quantify the diff-logging advantage.
+* Coordinated checkpointing (Costa et al. [9] style) is expressed through
+  :class:`repro.core.policies.BarrierCoordinatedPolicy` — every process
+  checkpoints at the same barrier episodes, so the set of checkpoints is
+  globally consistent without extra messages.
+"""
+
+from repro.baselines.coordinated import (
+    CoordinatedFt,
+    coordinated_cluster,
+    global_rollback,
+)
+from repro.baselines.page_logging import PageLoggingFt, page_logging_cluster
+
+__all__ = [
+    "PageLoggingFt",
+    "page_logging_cluster",
+    "CoordinatedFt",
+    "coordinated_cluster",
+    "global_rollback",
+]

@@ -1,0 +1,365 @@
+"""Cluster runtime: wires simulator, DSM protocol, FT layer and apps.
+
+:class:`DsmCluster` owns the event engine, the network, one
+:class:`ProcHost` per node (process + disk + crash-surviving checkpoint
+store) and the failure/recovery orchestration. A run is fully
+deterministic given (app, configs, failure schedule).
+
+Typical use::
+
+    cluster = DsmCluster(DsmConfig(num_procs=8), ft=True,
+                         policy_factory=lambda pid, fp: LogOverflowPolicy(0.1, fp))
+    app = WaterSpatialApp(WaterSpatialConfig(n_molecules=64, steps=3))
+    result = cluster.run(app)
+    print(result.wall_time, result.traffic.total_bytes)
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.checkpoint import CheckpointManager
+from repro.core.ftmanager import FtConfig, FtManager
+from repro.core.policies import CheckpointPolicy, LogOverflowPolicy
+from repro.dsm.config import DsmConfig
+from repro.dsm.messages import Message, RecoveryDone, RecoveryQuery, RecoveryReply
+from repro.dsm.pages import RegionSet, SharedRegion
+from repro.dsm.protocol import DsmProcess
+from repro.sim.engine import Engine, SimProcess
+from repro.sim.network import Network, NetworkConfig, TrafficStats
+from repro.sim.node import CpuModel, TimeStats
+from repro.sim.storage import CheckpointStore, Disk, DiskConfig
+
+__all__ = ["DsmCluster", "ProcHost", "RunResult", "PolicyFactory"]
+
+PolicyFactory = Callable[[int, int], CheckpointPolicy]  # (pid, footprint) -> policy
+
+
+class ProcHost:
+    """Everything living on one node."""
+
+    def __init__(self, cluster: "DsmCluster", pid: int) -> None:
+        self.cluster = cluster
+        self.pid = pid
+        self.disk = Disk(cluster.disk_config)
+        self.store = CheckpointStore(pid)  # stable storage: survives crashes
+        self.ckpt_mgr: Optional[CheckpointManager] = None
+        self.proto: Optional[DsmProcess] = None
+        self.ft: Optional[FtManager] = None
+        self.state: Dict[str, Any] = {}
+        self.simproc: Optional[SimProcess] = None
+        self.live = False
+        self.recovering = False
+        self.crashed_count = 0
+        self.recovered_count = 0
+        self.queued: List[Tuple[int, Message]] = []
+        #: recovery responder installed by core.recovery when FT is on
+        self.responder: Any = None
+        #: active RecoveryManager while this host is recovering
+        self.recovery_mgr: Any = None
+        #: app-done flag (kept across crash/recovery incarnations)
+        self.finished = False
+
+    # ------------------------------------------------------------------
+    def make_protocol(self) -> DsmProcess:
+        cluster = self.cluster
+        proto = DsmProcess(
+            pid=self.pid,
+            config=cluster.config,
+            regions=cluster.regions,
+            engine=cluster.engine,
+            send_fn=cluster.send,
+            cpu=CpuModel(),
+        )
+        return proto
+
+    def deliver(self, src: int, msg: Message) -> None:
+        if isinstance(msg, (RecoveryQuery, RecoveryReply, RecoveryDone)):
+            self.cluster._handle_recovery_msg(self.pid, src, msg)
+            return
+        if not self.live:
+            self.queued.append((src, msg))
+            return
+        assert self.proto is not None
+        self.proto.handle_message(src, msg)
+
+    def drain_queue(self) -> None:
+        queued, self.queued = self.queued, []
+        for src, msg in queued:
+            self.deliver(src, msg)
+
+
+@dataclass
+class RunResult:
+    """Outcome of one cluster run."""
+
+    wall_time: float
+    traffic: TrafficStats
+    time_stats: List[TimeStats]
+    proto_stats: List[Any]
+    ft_stats: List[Any]
+    disk_stats: List[Tuple[int, float]]  # (bytes written, write time) per node
+    crashes: int
+    recoveries: int
+    footprint_bytes: int
+
+    @property
+    def mean_time_stats(self) -> TimeStats:
+        out = TimeStats()
+        for ts in self.time_stats:
+            out = out.merged(ts)
+        for b in out.seconds:
+            out.seconds[b] /= max(1, len(self.time_stats))
+        return out
+
+
+class DsmCluster:
+    """A simulated cluster running one DSM application."""
+
+    def __init__(
+        self,
+        config: Optional[DsmConfig] = None,
+        net_config: Optional[NetworkConfig] = None,
+        disk_config: Optional[DiskConfig] = None,
+        ft: bool = False,
+        ft_config: Optional[FtConfig] = None,
+        policy_factory: Optional[PolicyFactory] = None,
+        ft_factory: Optional[Callable[..., FtManager]] = None,
+    ) -> None:
+        self.config = config or DsmConfig()
+        self.net_config = net_config or NetworkConfig()
+        self.disk_config = disk_config or DiskConfig()
+        self.ft_enabled = ft
+        self.ft_config = ft_config or FtConfig()
+        self.policy_factory = policy_factory or (
+            lambda pid, fp: LogOverflowPolicy(0.1, fp)
+        )
+        #: FtManager class/constructor (swap in baseline FT layers)
+        self.ft_factory = ft_factory or FtManager
+        self.engine = Engine()
+        self.network = Network(self.engine, self.config.num_procs, self.net_config)
+        self.regions = RegionSet(self.config)
+        self.hosts: List[ProcHost] = [
+            ProcHost(self, pid) for pid in range(self.config.num_procs)
+        ]
+        for host in self.hosts:
+            self.network.register(host.pid, host.deliver)
+        self.app: Any = None
+        self._started = False
+        self.crashes = 0
+        self.recoveries = 0
+        #: pending failure injections: (time, pid)
+        self._crash_schedule: List[Tuple[float, int]] = []
+        #: "independent" (the paper's log-based single-process recovery)
+        #: or "rollback" (coordinated baseline: everyone restarts from
+        #: the last global cut)
+        self.recovery_style = "independent"
+
+    # ------------------------------------------------------------------
+    # setup
+    # ------------------------------------------------------------------
+    def allocate(self, name: str, num_elements: int, dtype: str = "float64") -> SharedRegion:
+        return self.regions.allocate(name, num_elements, dtype)
+
+    def send(self, src: int, dst: int, msg: Message) -> None:
+        size = msg.size_bytes(self.config)
+        ft_bytes = msg.ft_bytes(self.config)
+        self.network.send(src, dst, msg, size, msg.category, ft_bytes)
+
+    def schedule_crash(self, pid: int, at_time: float) -> None:
+        """Fail-stop process ``pid`` at virtual time ``at_time``."""
+        if not self.ft_enabled:
+            raise RuntimeError("cannot recover from crashes without FT enabled")
+        self._crash_schedule.append((at_time, pid))
+
+    # ------------------------------------------------------------------
+    # run
+    # ------------------------------------------------------------------
+    def run(self, app: Any, max_steps: int = 500_000_000) -> RunResult:
+        self.setup(app)
+        self.start()
+        for at_time, pid in self._crash_schedule:
+            self.engine.schedule(
+                max(0.0, at_time - self.engine.now), lambda p=pid: self.crash(p)
+            )
+        self._run_loop(max_steps)
+        if self.app is not None:
+            self.app.check_result(self)
+        return self.result()
+
+    def setup(self, app: Any) -> None:
+        if self._started:
+            raise RuntimeError("cluster already ran")
+        self.app = app
+        app.configure(self)
+        self.regions.seal()
+        for host in self.hosts:
+            host.proto = host.make_protocol()
+            host.proto.rebind_homes()
+        app.init_shared(self)
+        for host in self.hosts:
+            host.state = app.init_state(host.pid)
+            if self.ft_enabled:
+                self._install_ft(host)
+
+    def _install_ft(self, host: ProcHost) -> None:
+        from repro.core.recovery import RecoveryResponder
+
+        footprint = self.regions.total_bytes
+        if host.ckpt_mgr is None:  # reused across recoveries (stable storage)
+            host.ckpt_mgr = CheckpointManager(
+                host.pid, self.config.num_procs, host.store
+            )
+        policy = self.policy_factory(host.pid, footprint)
+        host.ft = self.ft_factory(
+            host.proto, policy, host.ckpt_mgr, host.disk, self.ft_config
+        )
+        host.ft.proc_host = host
+        host.ft.app_state_fn = lambda h=host: h.state
+        host.responder = RecoveryResponder(host)
+
+    def start(self) -> None:
+        self._started = True
+        for host in self.hosts:
+            host.live = True
+            host.simproc = self.engine.spawn(
+                self._app_main(host), name=f"app{host.pid}"
+            )
+
+    def _app_main(self, host: ProcHost) -> Iterator[Any]:
+        yield from self.app.run(host.proto, host.state)
+        host.finished = True
+
+    def _run_loop(self, max_steps: int) -> None:
+        engine = self.engine
+        while engine._queue:
+            if all(h.finished for h in self.hosts):
+                break
+            ev = heapq.heappop(engine._queue)
+            engine.now = max(engine.now, ev.time)
+            ev.fn()
+            engine.steps += 1
+            if engine.steps > max_steps:
+                raise RuntimeError(f"exceeded {max_steps} events at t={engine.now}")
+        pending = [h.pid for h in self.hosts if not h.finished]
+        if pending:
+            raise RuntimeError(
+                f"deadlock: event queue drained, processes not finished: {pending}"
+            )
+
+    # ------------------------------------------------------------------
+    # failure / recovery orchestration
+    # ------------------------------------------------------------------
+    def crash(self, pid: int) -> None:
+        """Fail-stop ``pid`` now; recovery starts after the detection delay."""
+        host = self.hosts[pid]
+        if not host.live or host.finished:
+            return  # process already down or already done
+        self.crashes += 1
+        host.crashed_count += 1
+        host.live = False
+        host.recovering = False
+        assert host.simproc is not None
+        host.simproc.kill()
+        # all volatile state dies with the process
+        host.proto = None
+        host.ft = None
+        host.responder = None
+        host.state = {}
+        if self.recovery_style == "rollback":
+            self.engine.schedule(
+                self.config.failure_detection_delay, self._global_rollback
+            )
+        else:
+            self.engine.schedule(
+                self.config.failure_detection_delay,
+                lambda: self._start_recovery(pid),
+            )
+
+    def _global_rollback(self) -> None:
+        from repro.baselines.coordinated import global_rollback
+
+        global_rollback(self)
+
+    def _start_recovery(self, pid: int) -> None:
+        from repro.core.recovery import RecoveryManager
+
+        host = self.hosts[pid]
+        host.recovering = True
+        rm = RecoveryManager(host)
+        host.simproc = self.engine.spawn(rm.recover_and_resume(), name=f"rec{pid}")
+
+    def _handle_recovery_msg(self, dst: int, src: int, msg: Message) -> None:
+        host = self.hosts[dst]
+        if isinstance(msg, RecoveryDone):
+            # a peer finished recovering: re-issue possibly swallowed
+            # requests and repair lock forwards
+            if host.live and host.proto is not None:
+                host.proto.resend_pending(msg.proc)
+                host.proto.repair_forwards_for(msg.proc)
+            return
+        if isinstance(msg, RecoveryReply):
+            if host.recovery_mgr is None:
+                return  # stale reply (recovery finished); drop
+            host.recovery_mgr.on_reply(src, msg)
+            return
+        if host.responder is None:
+            if not self.ft_enabled:
+                raise RuntimeError(
+                    f"recovery query for node {dst} but FT is not enabled"
+                )
+            # query addressed to a host that is itself down: hold it
+            # until that host has recovered (single-fault assumption
+            # makes overlap rare; the requester simply blocks, §4.3)
+            host.queued.append((src, msg))
+            return
+        host.responder.handle(src, msg)
+
+    # ------------------------------------------------------------------
+    # results
+    # ------------------------------------------------------------------
+    def result(self) -> RunResult:
+        return RunResult(
+            wall_time=self.engine.now,
+            traffic=self.network.traffic,
+            time_stats=[
+                h.proto.cpu.stats if h.proto else TimeStats() for h in self.hosts
+            ],
+            proto_stats=[h.proto.stats if h.proto else None for h in self.hosts],
+            ft_stats=[h.ft.stats if h.ft else None for h in self.hosts],
+            disk_stats=[(h.disk.bytes_written, h.disk.write_time) for h in self.hosts],
+            crashes=self.crashes,
+            recoveries=self.recoveries,
+            footprint_bytes=self.regions.total_bytes,
+        )
+
+    def write_initial(self, region: SharedRegion, values: np.ndarray) -> None:
+        """Install identical initial contents in every process's copy.
+
+        Stand-in for the sequential initialization phase of SPLASH-2
+        programs; must be called from ``app.init_shared`` (before any
+        sharing, so all copies and the virtual checkpoint 0 agree).
+        """
+        values = np.asarray(values, dtype=region.dtype).ravel()
+        if len(values) > region.num_elements:
+            raise ValueError("initial data larger than region")
+        for host in self.hosts:
+            assert host.proto is not None
+            view = host.proto.typed_view(region)
+            view[: len(values)] = values
+
+    # convenience for tests: final shared memory as seen by homes
+    def shared_snapshot(self, region: SharedRegion) -> np.ndarray:
+        """Authoritative region contents assembled from the home copies."""
+        out = np.zeros(region.nbytes, dtype=np.uint8)
+        for i in range(region.num_pages):
+            home = region.home_of(i)
+            proto = self.hosts[home].proto
+            assert proto is not None
+            lo, hi = region.page_slice(i)
+            out[lo:hi] = proto.backing[region.region_id][lo:hi]
+        return out.view(region.dtype)[: region.num_elements]

@@ -1,0 +1,219 @@
+"""Independent checkpointing and checkpoint garbage collection (§4.2, §4.4).
+
+A checkpoint of process ``i`` contains the "processor state" (here: the
+application's pickled private state), the pages homed at ``i`` with their
+version vectors, the vector timestamp ``Tckp`` (stamped per §4.4 with the
+local vector time at the moment the checkpoint is taken), the saved
+volatile logs, and the small protocol structures needed to restart (lock
+token snapshot, acquire sequence numbers, barrier position).
+
+Homes additionally retain a *sequence* ``pckp`` of page copies from past
+checkpoints; Rule 3.1 (CGC) bounds that sequence to a window ending at
+the *maximal starting copy* — the newest copy whose version is ≤ the
+componentwise minimum ``Tmin`` of all other processes' (last known)
+checkpoint timestamps.
+
+A virtual "checkpoint 0" holds the initial page contents with a zero
+version vector, so recovery is well defined before a process's first real
+checkpoint and Rule 3.1 always has a candidate copy.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.logs import DiffLogEntry
+from repro.dsm.messages import WriteNotice
+from repro.dsm.pages import PageId
+from repro.dsm.vclock import VClock
+from repro.sim.storage import CheckpointStore
+
+__all__ = ["PageCopy", "Checkpoint", "CheckpointManager"]
+
+
+@dataclass
+class PageCopy:
+    """One checkpointed copy of a homed page."""
+
+    ckpt_seqno: int
+    version: VClock
+    data: bytes
+
+
+@dataclass
+class Checkpoint:
+    """Everything needed to restart a process (restart checkpoint)."""
+
+    pid: int
+    seqno: int
+    tckp: VClock
+    app_state_blob: bytes
+    own_notices: List[WriteNotice]
+    diff_log: Dict[PageId, List[DiffLogEntry]]
+    lock_tokens: Dict[int, Tuple[bool, bool]]  # lock -> (has_token, held)
+    acq_seq: Dict[int, int]
+    barrier_episode: int
+    last_barrier_global: VClock
+    #: page -> version of the homed copy saved with this checkpoint
+    homed_versions: Dict[PageId, VClock] = field(default_factory=dict)
+
+    def restore_app_state(self) -> Any:
+        return pickle.loads(self.app_state_blob)
+
+    def size_bytes(self, page_bytes: int, log_bytes: int) -> int:
+        meta = (
+            len(self.tckp) * 4
+            + len(self.own_notices) * 16
+            + len(self.lock_tokens) * 6
+            + len(self.acq_seq) * 8
+            + 64
+        )
+        return len(self.app_state_blob) + page_bytes + log_bytes + meta
+
+
+class CheckpointManager:
+    """Stable-storage side of checkpointing for one process.
+
+    Owns the page-copy sequences (``pckp``) and implements CGC. The
+    object lives in the node's :class:`CheckpointStore`, so it survives a
+    fail-stop of the process.
+    """
+
+    def __init__(self, pid: int, num_procs: int, store: CheckpointStore) -> None:
+        self.pid = pid
+        self.n = num_procs
+        self.store = store
+        self.next_seqno = 1
+        self.page_copies: Dict[PageId, List[PageCopy]] = {}
+        self.checkpoints: Dict[int, Checkpoint] = {}
+        self.latest: Optional[Checkpoint] = None
+        # accounting
+        self.window_size = 1  # includes virtual checkpoint 0
+        self.max_window = 1
+        self.pages_retained_bytes = 0
+        self.pages_discarded_bytes = 0
+
+    # ------------------------------------------------------------------
+    # seeding (virtual checkpoint 0)
+    # ------------------------------------------------------------------
+    def seed_initial_pages(self, pages: Dict[PageId, bytes]) -> None:
+        zero = VClock.zero(self.n)
+        for page, data in pages.items():
+            if page in self.page_copies:
+                continue  # re-install after recovery: stable state persists
+            self.page_copies[page] = [PageCopy(0, zero, data)]
+            self.pages_retained_bytes += len(data)
+
+    # ------------------------------------------------------------------
+    # taking a checkpoint
+    # ------------------------------------------------------------------
+    def commit(
+        self,
+        ckpt: Checkpoint,
+        homed_pages: Dict[PageId, Tuple[bytes, VClock]],
+    ) -> int:
+        """Record a checkpoint; returns the page bytes written.
+
+        ``homed_pages`` maps each page homed here to (contents, version).
+        """
+        if ckpt.seqno != self.next_seqno:
+            raise ValueError(
+                f"checkpoint seqno {ckpt.seqno}, expected {self.next_seqno}"
+            )
+        self.next_seqno += 1
+        page_bytes = 0
+        for page, (data, version) in homed_pages.items():
+            self.page_copies.setdefault(page, []).append(
+                PageCopy(ckpt.seqno, version, data)
+            )
+            ckpt.homed_versions[page] = version
+            page_bytes += len(data)
+            self.pages_retained_bytes += len(data)
+        self.checkpoints[ckpt.seqno] = ckpt
+        self.latest = ckpt
+        self.store.put(("ckpt", ckpt.seqno), ckpt, page_bytes)
+        self._update_window()
+        return page_bytes
+
+    def _update_window(self) -> None:
+        live = {
+            c.ckpt_seqno for copies in self.page_copies.values() for c in copies
+        }
+        self.window_size = max(1, len(live))
+        self.max_window = max(self.max_window, self.window_size)
+
+    # ------------------------------------------------------------------
+    # Rule 3.1 — checkpoint garbage collection
+    # ------------------------------------------------------------------
+    def collect(self, tmin: VClock) -> int:
+        """Run CGC against ``Tmin``; returns page bytes discarded.
+
+        For every page, the *maximal starting copy* is the newest copy
+        with ``version <= Tmin``; all older copies are dropped. Old
+        checkpoint records whose page copies are all gone are dropped too
+        (their logs/state can no longer be the restart point of this
+        process, which always restarts from ``latest``).
+        """
+        freed = 0
+        for page, copies in self.page_copies.items():
+            max_idx = 0
+            for i, copy in enumerate(copies):
+                if copy.version.leq(tmin):
+                    max_idx = i
+            if max_idx > 0:
+                for dropped in copies[:max_idx]:
+                    freed += len(dropped.data)
+                    self.pages_discarded_bytes += len(dropped.data)
+                    self.pages_retained_bytes -= len(dropped.data)
+                del copies[:max_idx]
+        # prune superseded checkpoint records (keep the latest always)
+        live_seqnos = {
+            c.ckpt_seqno for copies in self.page_copies.values() for c in copies
+        }
+        if self.latest is not None:
+            live_seqnos.add(self.latest.seqno)
+        for seqno in [s for s in self.checkpoints if s not in live_seqnos]:
+            del self.checkpoints[seqno]
+            if ("ckpt", seqno) in self.store:
+                self.store.delete(("ckpt", seqno))
+        self._update_window()
+        return freed
+
+    # ------------------------------------------------------------------
+    # recovery-side queries
+    # ------------------------------------------------------------------
+    def maximal_starting_copy(self, page: PageId, needed_max: VClock) -> PageCopy:
+        """Newest retained copy usable as ``p0`` for a given recovery.
+
+        A copy is usable if its version is ≤ the recovering process's
+        replay ceiling (``needed_max``) — nothing beyond what happened
+        before the crash may be baked into the starting copy, or replay
+        could observe future writes. Rule 3 guarantees a usable copy
+        exists among the retained window.
+        """
+        copies = self.page_copies.get(page)
+        if not copies:
+            raise KeyError(f"no retained copies for page {page}")
+        best: Optional[PageCopy] = None
+        for copy in copies:
+            if copy.version.leq(needed_max):
+                best = copy
+        if best is None:
+            raise RuntimeError(
+                f"CGC retained no usable starting copy for {page}: "
+                f"oldest version {copies[0].version}, ceiling {needed_max} "
+                "(Rule 3 violated)"
+            )
+        return best
+
+    def restart_checkpoint(self) -> Optional[Checkpoint]:
+        return self.latest
+
+    @property
+    def retained_seqnos(self) -> List[int]:
+        out = {
+            c.ckpt_seqno for copies in self.page_copies.values() for c in copies
+        }
+        return sorted(out)

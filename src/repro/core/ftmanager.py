@@ -1,0 +1,371 @@
+"""The fault-tolerance manager: wires logging, checkpointing, LLT and CGC
+into a :class:`~repro.dsm.protocol.DsmProcess` through the
+:class:`~repro.dsm.protocol.FtHooks` interface.
+
+Checkpoint discipline
+---------------------
+Policies are *evaluated* at every synchronization point (§4: "all logging
+operations take place transparently, only at synchronization points"),
+but the checkpoint itself is *taken* at the next application-declared
+safe point (``proc.ckpt_point()``), where the application guarantees its
+private state dict is resumable. This is the simulator's substitute for a
+transparent processor-state snapshot (see DESIGN.md §1); the paper's own
+system similarly supports checkpointing "at the request of the
+application".
+
+Taking a checkpoint (all at once, matching the paper's stress setup —
+"log trimming, garbage collection of checkpoints and saving logs to
+stable storage take place only at checkpoint time"):
+
+1. flush the open interval and bump the vector time (so ``Tckp`` is a
+   clean cut: everything after the checkpoint is strictly above it),
+2. run LLT over all volatile logs (Rules 1, 2, 3.2),
+3. write homed pages + still-live unsaved log entries + private state to
+   the simulated disk,
+4. commit the checkpoint and run CGC (Rule 3.1) against ``Tmin``,
+5. queue the new ``p0.v`` values and ``Tckp`` for lazy propagation.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.core.checkpoint import Checkpoint, CheckpointManager
+from repro.core.logs import VolatileLogs
+from repro.core.policies import CheckpointPolicy
+from repro.core.trimming import TrimmingInfo
+from repro.dsm.diff import Diff
+from repro.dsm.messages import Piggyback
+from repro.dsm.pages import PageId
+from repro.dsm.protocol import DsmProcess, FtHooks
+from repro.dsm.vclock import VClock
+from repro.sim.engine import Delay
+from repro.sim.node import TimeBucket
+from repro.sim.storage import Disk
+
+__all__ = ["FtConfig", "FtStats", "FtManager"]
+
+
+@dataclass
+class FtConfig:
+    """Feature switches and tuning of the FT layer."""
+
+    llt_enabled: bool = True
+    cgc_enabled: bool = True
+    piggyback_enabled: bool = True
+    #: max p0.v advertisements per message (bounds piggyback size)
+    piggyback_max_page_versions: int = 16
+    #: also save own write notices with each checkpoint (tiny; required
+    #: for correctness, switchable only for ablation)
+    save_wn_log: bool = True
+
+
+@dataclass
+class FtStats:
+    """Per-process FT accounting (Tables 3-4, Figure 4)."""
+
+    checkpoints_taken: int = 0
+    time_logging: float = 0.0
+    time_disk: float = 0.0
+    ckpt_page_bytes: int = 0
+    ckpt_state_bytes: int = 0
+    logs_saved_bytes: int = 0
+    max_log_disk: int = 0
+    #: Figure 4 series: (checkpoint number, stable-storage log bytes)
+    log_points: List[Tuple[int, int]] = field(default_factory=list)
+    rel_entries_trimmed: int = 0
+    wn_trimmed: int = 0
+
+
+class FtManager(FtHooks):
+    """Fault tolerance for one process."""
+
+    def __init__(
+        self,
+        proc: DsmProcess,
+        policy: CheckpointPolicy,
+        ckpt_mgr: CheckpointManager,
+        disk: Disk,
+        config: Optional[FtConfig] = None,
+    ) -> None:
+        self.proc = proc
+        self.pid = proc.pid
+        self.n = proc.n
+        self.policy = policy
+        self.ckpt_mgr = ckpt_mgr
+        self.disk = disk
+        self.config = config or FtConfig()
+        self.logs = VolatileLogs(self.pid, self.n)
+        self.trim = TrimmingInfo(self.pid, self.n)
+        self.stats = FtStats()
+        #: page -> writers that have sent diffs (advertisement targets)
+        self.page_writers: Dict[PageId, Set[int]] = {}
+        #: buddy mirrors of peer lock-managers' own self-grants:
+        #: grantor -> lock -> [acq_t]
+        self.buddy_selfgrants: Dict[int, Dict[int, List[VClock]]] = {}
+        #: dst -> pending (page, p0.v[dst]) advertisements
+        self.pending_adverts: Dict[int, List[Tuple[PageId, int]]] = {}
+        #: dst -> proc -> last (tckp, bar_ep) piggybacked there (delta
+        #: encoding: known checkpoint timestamps are gossiped, but travel
+        #: to each destination only once)
+        self._sent_tckp: Dict[int, Dict[int, Tuple[VClock, int]]] = {}
+        #: a policy asked for a checkpoint; taken at the next safe point
+        self.checkpoint_requested = False
+        #: supplies the application's resumable private state
+        self.app_state_fn: Callable[[], Any] = lambda: {}
+        self._install()
+
+    def _install(self) -> None:
+        self.proc.ft = self
+        # seed virtual checkpoint 0 with the initial homed page contents
+        self.ckpt_mgr.seed_initial_pages(
+            {
+                page: self.proc.page_bytes(page).tobytes()
+                for page in self.proc.home.pages()
+            }
+        )
+
+    # ==================================================================
+    # FtHooks — logging (§4.2)
+    # ==================================================================
+    def home_wants_diffs(self) -> bool:
+        return True
+
+    def on_interval_flush(
+        self, page: PageId, diff: Diff, vt: VClock, is_home: bool
+    ) -> Iterator[Delay]:
+        # empty diffs are logged too (header-only records): the write
+        # notice they correspond to advances the page version at the
+        # home, and replay must be able to advance the emulated copy to
+        # that version
+        entry = self.logs.diff.append(page, diff, vt)
+        cost = entry.size_bytes * self.proc.cpu.costs.log_append_per_byte
+        self.stats.time_logging += cost
+        yield from self.proc.cpu.charge(TimeBucket.LOG_CKPT, cost)
+
+    def on_grant(self, lock_id: int, acquirer: int, acq_t: VClock) -> None:
+        self.logs.rel.append(acquirer, lock_id, acq_t)
+        self.stats.time_logging += 0.5e-6
+        self.proc.cpu.accrue_handler(0.5e-6)
+
+    def on_acquire_done(self, lock_id: int, grantor: int, acq_t: VClock) -> None:
+        self.logs.acq.append(grantor, lock_id, acq_t)
+        self.stats.time_logging += 0.5e-6
+
+    def on_self_grant(self, lock_id: int, acq_t: VClock) -> None:
+        self.logs.log_self_grant(lock_id, acq_t)
+        self.stats.time_logging += 0.5e-6
+
+    def on_buddy_self_grant(self, grantor: int, lock_id: int, acq_t: VClock) -> None:
+        self.buddy_selfgrants.setdefault(grantor, {}).setdefault(
+            lock_id, []
+        ).append(acq_t)
+
+    def on_barrier_done(self, episode: int, global_vt: VClock) -> None:
+        self.logs.log_barrier(episode, global_vt)
+        self.stats.time_logging += 0.5e-6
+
+    def on_diff_received(self, page: PageId, writer: int, diff_vt: VClock) -> None:
+        self.page_writers.setdefault(page, set()).add(writer)
+
+    # ==================================================================
+    # FtHooks — checkpoint policy evaluation
+    # ==================================================================
+    def at_sync_point(self, at_barrier: bool = False) -> Iterator[Delay]:
+        if self.policy.should_checkpoint(self, at_barrier):
+            self.checkpoint_requested = True
+        return
+        yield  # pragma: no cover - makes this a generator
+
+    # ==================================================================
+    # FtHooks — lazy propagation (§4.4.4)
+    # ==================================================================
+    def piggyback_for(self, dst: int) -> Optional[Piggyback]:
+        if not self.config.piggyback_enabled:
+            return None
+        adverts: Tuple[Tuple[PageId, int], ...] = ()
+        pending = self.pending_adverts.get(dst)
+        if pending:
+            k = self.config.piggyback_max_page_versions
+            adverts = tuple(pending[:k])
+            del pending[:k]
+        # gossip with delta encoding: ship every known (own and learned)
+        # checkpoint timestamp that this destination has not seen from us
+        sent = self._sent_tckp.setdefault(dst, {})
+        tckps = []
+        for proc in range(self.n):
+            if proc == dst:
+                continue
+            cur = (self.trim.tckp[proc], self.trim.bar_ep[proc])
+            if cur[0].v == (0,) * self.n and cur[1] == 0:
+                continue  # nothing known yet
+            if sent.get(proc) != cur:
+                sent[proc] = cur
+                tckps.append((proc, cur[0], cur[1]))
+        if not tckps and not adverts:
+            return None
+        return Piggyback(tckps=tuple(tckps), page_versions=adverts)
+
+    def on_piggyback(self, src: int, pb: Piggyback) -> None:
+        for proc, tckp, bar_ep in pb.tckps:
+            self.trim.learn_tckp(proc, tckp, bar_ep)
+        for page, version in pb.page_versions:
+            self.trim.learn_p0v(page, version)
+
+    # ==================================================================
+    # checkpointing
+    # ==================================================================
+    def request_checkpoint(self) -> None:
+        """Application-initiated checkpoint request (manual policy)."""
+        self.checkpoint_requested = True
+
+    def at_safe_point(self) -> Iterator[Any]:
+        """Called from ``proc.ckpt_point()``; takes a pending checkpoint."""
+        if self.checkpoint_requested:
+            self.checkpoint_requested = False
+            yield from self.take_checkpoint()
+
+    def take_checkpoint(self) -> Iterator[Any]:
+        """The full checkpoint operation (see module docstring)."""
+        proc = self.proc
+        yield from proc.cpu.drain_debt()
+        yield from proc._end_interval()
+        proc.vt = proc.vt.bump(self.pid)  # clean cut: Tckp < everything after
+        tckp = proc.vt
+
+        if self.config.llt_enabled:
+            self.run_llt()
+
+        # -- snapshot ----------------------------------------------------
+        state_blob = pickle.dumps(self.app_state_fn())
+        homed: Dict[PageId, Tuple[bytes, VClock]] = {}
+        for page in proc.home.pages():
+            hp = proc.home[page]
+            homed[page] = (proc.page_bytes(page).tobytes(), hp.version)
+        pack_cost = sum(len(d) for d, _ in homed.values()) * (
+            proc.cpu.costs.checkpoint_pack_per_byte
+        )
+        self.stats.time_logging += pack_cost
+        yield from proc.cpu.charge(TimeBucket.LOG_CKPT, pack_cost)
+
+        seqno = self.ckpt_mgr.next_seqno
+        ckpt = Checkpoint(
+            pid=self.pid,
+            seqno=seqno,
+            tckp=tckp,
+            app_state_blob=state_blob,
+            own_notices=(
+                self.proc.notices.own_after(self.pid, 0)
+                if self.config.save_wn_log
+                else []
+            ),
+            diff_log=self.logs.diff.snapshot(),
+            lock_tokens=proc.locks.token_snapshot(),
+            acq_seq=dict(proc._acq_seq),
+            barrier_episode=proc.barrier_episode,
+            last_barrier_global=proc.last_barrier_global,
+        )
+
+        # -- stable storage ------------------------------------------------
+        # the disk write happens BEFORE the checkpoint is committed: a
+        # crash during the write must restart from the previous
+        # checkpoint, never from a torn one
+        page_bytes = sum(len(d) for d, _ in homed.values())
+        new_log_bytes = self.logs.diff.unsaved_bytes
+        total_write = page_bytes + new_log_bytes + len(state_blob)
+        t0 = proc.engine.now
+        write_cost = self.disk.write_cost(total_write)
+        self.disk.bytes_written += total_write
+        self.disk.write_time += write_cost
+        yield from proc.cpu.charge(TimeBucket.LOG_CKPT, write_cost)
+        self.stats.time_disk += proc.engine.now - t0
+
+        # -- atomic commit ---------------------------------------------------
+        self.logs.diff.mark_all_saved()
+        self.stats.logs_saved_bytes += new_log_bytes
+        self.ckpt_mgr.commit(ckpt, homed)
+        self.stats.ckpt_page_bytes += page_bytes
+        self.stats.ckpt_state_bytes += len(state_blob)
+
+        # -- CGC + advertisement -------------------------------------------
+        self.trim.learn_tckp(self.pid, tckp, proc.barrier_episode)
+        if self.config.cgc_enabled:
+            self.run_cgc()
+
+        self.stats.checkpoints_taken += 1
+        disk_log = self.logs.diff.saved_bytes
+        self.stats.max_log_disk = max(self.stats.max_log_disk, disk_log)
+        self.stats.log_points.append((self.stats.checkpoints_taken, disk_log))
+
+    # ==================================================================
+    # LLT (Rules 1, 2, 3.2) — §4.4
+    # ==================================================================
+    def run_llt(self) -> Dict[str, int]:
+        """Trim every log against the current (possibly stale) bounds."""
+        out = {"diff_bytes": 0, "rel": 0, "acq": 0, "wn": 0, "bar": 0, "self": 0}
+        # Rule 3.2 — the big one
+        for page in self.logs.diff.pages():
+            bound = self.trim.diff_bound(page)
+            if bound > 0:
+                out["diff_bytes"] += self.logs.diff.trim_page(page, self.pid, bound)
+        # Rule 2
+        for j in range(self.n):
+            if j == self.pid:
+                continue
+            out["rel"] += self.logs.rel.trim(j, self.trim.rel_bound(j))
+        out["acq"] += self.logs.acq.trim(self.pid, self.trim.acq_bound())
+        out["self"] += self.logs.trim_self_grants(self.trim.acq_bound())
+        # Rule 1
+        out["wn"] += self.proc.notices.trim_creator_before(
+            self.pid, self.trim.wn_keep_from()
+        )
+        # barrier log analogue
+        out["bar"] += self.logs.trim_barriers(self.trim.bar_keep_from())
+        if self.proc.barrier_mgr is not None:
+            self.proc.barrier_mgr.trim_history(self.trim.bar_keep_from())
+        # manager-held self-grant mirrors of peers
+        for lock_id in self.proc.locks.managed_locks():
+            mgr = self.proc.locks.manager(lock_id)
+            for j in range(self.n):
+                mgr.trim_self_grants(j, self.trim.tckp[j][j])
+        # buddy-held self-grant mirrors (Rule 2 analogue)
+        for grantor, locks in self.buddy_selfgrants.items():
+            bound = self.trim.tckp[grantor][grantor]
+            for lock_id, entries in locks.items():
+                locks[lock_id] = [t for t in entries if t[grantor] > bound]
+        self.stats.rel_entries_trimmed += out["rel"] + out["acq"]
+        self.stats.wn_trimmed += out["wn"]
+        return out
+
+    # ==================================================================
+    # CGC (Rule 3.1) — §4.4
+    # ==================================================================
+    def run_cgc(self) -> int:
+        """Collect past checkpoints; queue new p0.v advertisements."""
+        tmin = self.trim.tmin()
+        freed = self.ckpt_mgr.collect(tmin)
+        # after collection, advertise each page's maximal-starting-copy
+        # version to its writers (they trim their diff logs with it)
+        for page, copies in self.ckpt_mgr.page_copies.items():
+            p0 = copies[0]  # oldest retained == maximal starting copy
+            for writer in self.page_writers.get(page, ()):
+                if writer == self.pid:
+                    continue
+                self.pending_adverts.setdefault(writer, []).append(
+                    (page, p0.version[writer])
+                )
+            # the home is its own writer: trim its own diff log directly
+            self.trim.learn_p0v(page, p0.version[self.pid])
+        return freed
+
+    # ==================================================================
+    # convenience / accounting
+    # ==================================================================
+    @property
+    def volatile_log_bytes(self) -> int:
+        return self.logs.diff.volatile_bytes
+
+    def log_append_cost(self, nbytes: int) -> float:
+        return nbytes * self.proc.cpu.costs.log_append_per_byte

@@ -1,0 +1,253 @@
+"""Volatile logs for sender-based message logging (§4.2).
+
+Per process the FT layer keeps:
+
+* ``wn_log`` — write notices it generated. This is physically the base
+  protocol's notice table (own-creator slice); the FT layer only adds the
+  Rule 1 trimming and the obligation to save it with checkpoints.
+* ``rel_log[i]`` — one entry per lock grant to process ``i`` (the
+  acquirer's vector time after the acquire). Needed to replay *other*
+  processes' acquires.
+* ``acq_log[i]`` — mirror entries for this process's own acquires granted
+  by ``i``; restores ``i``'s ``rel_log`` after a crash of ``i``. The
+  rel/acq pair is replicated on two distinct nodes, so neither needs to
+  reach stable storage (§4.2.1).
+* ``selfgrant_log`` — grantor-side mirror of local re-acquires (our
+  addition; the remote copy lives at the lock manager).
+* ``bar_log`` — (episode, global vt) for each barrier passed; mirror of
+  the barrier manager's history.
+* ``diff_log(p)`` — per page, every diff this process created, stamped
+  with the creator's vector time. The dominant log by volume and the one
+  LLT targets (§5: "We consider only the diff logs for trimming").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.dsm.diff import Diff
+from repro.dsm.pages import PageId
+from repro.dsm.vclock import VClock
+
+__all__ = [
+    "RelEntry",
+    "RelLog",
+    "AcqLog",
+    "DiffLogEntry",
+    "DiffLog",
+    "VolatileLogs",
+]
+
+
+@dataclass(frozen=True)
+class RelEntry:
+    """One logged lock grant: the acquirer's vt after the acquire."""
+
+    lock_id: int
+    acq_t: VClock
+
+
+#: modeled in-memory/wire size of one rel/acq entry
+REL_ENTRY_BYTES = 8
+
+
+class RelLog:
+    """Grants made by this process, bucketed per acquirer."""
+
+    def __init__(self, num_procs: int) -> None:
+        self.n = num_procs
+        self.entries: List[List[RelEntry]] = [[] for _ in range(num_procs)]
+
+    def append(self, acquirer: int, lock_id: int, acq_t: VClock) -> None:
+        self.entries[acquirer].append(RelEntry(lock_id, acq_t))
+
+    def for_acquirer(self, acquirer: int) -> List[RelEntry]:
+        return list(self.entries[acquirer])
+
+    def trim(self, acquirer: int, tckp_component: int) -> int:
+        """Rule 2: keep entries with ``acq_t[acquirer] > Tckp_acquirer[acquirer]``."""
+        old = self.entries[acquirer]
+        kept = [e for e in old if e.acq_t[acquirer] > tckp_component]
+        self.entries[acquirer] = kept
+        return len(old) - len(kept)
+
+    def restore_for(self, acquirer: int, entries: Iterable[RelEntry]) -> None:
+        self.entries[acquirer] = list(entries)
+
+    def count(self) -> int:
+        return sum(len(e) for e in self.entries)
+
+
+class AcqLog:
+    """This process's own remote acquires, bucketed per grantor (mirror)."""
+
+    def __init__(self, num_procs: int) -> None:
+        self.n = num_procs
+        self.entries: List[List[RelEntry]] = [[] for _ in range(num_procs)]
+
+    def append(self, grantor: int, lock_id: int, acq_t: VClock) -> None:
+        self.entries[grantor].append(RelEntry(lock_id, acq_t))
+
+    def for_grantor(self, grantor: int) -> List[RelEntry]:
+        return list(self.entries[grantor])
+
+    def trim(self, own_pid: int, own_tckp_component: int) -> int:
+        """Rule 2: keep entries with ``acq_t[self] > Tckp_self[self]``.
+
+        Entries at or below the own checkpoint cut restore portions of a
+        crashed grantor's rel_log that no recovery can need any more.
+        """
+        dropped = 0
+        for g in range(self.n):
+            old = self.entries[g]
+            kept = [e for e in old if e.acq_t[own_pid] > own_tckp_component]
+            dropped += len(old) - len(kept)
+            self.entries[g] = kept
+        return dropped
+
+    def count(self) -> int:
+        return sum(len(e) for e in self.entries)
+
+
+@dataclass
+class DiffLogEntry:
+    """One logged diff with its creation timestamp ``diff.T`` (§4.2.2)."""
+
+    page: PageId
+    diff: Diff
+    t: VClock  # creator's vt at interval flush
+    saved: bool = False  # already written to stable storage
+
+    @property
+    def size_bytes(self) -> int:
+        return self.diff.size_bytes + 16  # encoded diff + log record header
+
+
+class DiffLog:
+    """All diffs created by this process, per page."""
+
+    def __init__(self) -> None:
+        self.per_page: Dict[PageId, List[DiffLogEntry]] = {}
+        # lifetime accounting for Table 4
+        self.bytes_created = 0
+        self.bytes_discarded = 0
+        self.bytes_discarded_saved = 0  # subset that had reached the disk
+
+    def append(self, page: PageId, diff: Diff, t: VClock) -> DiffLogEntry:
+        entry = DiffLogEntry(page, diff, t)
+        self.per_page.setdefault(page, []).append(entry)
+        self.bytes_created += entry.size_bytes
+        return entry
+
+    def entries_for(self, page: PageId) -> List[DiffLogEntry]:
+        return list(self.per_page.get(page, ()))
+
+    def pages(self) -> List[PageId]:
+        return list(self.per_page.keys())
+
+    def trim_page(self, page: PageId, creator: int, min_keep_interval: int) -> int:
+        """Rule 3.2: keep entries with ``diff.T[creator] > p0.v[creator]``.
+
+        ``min_keep_interval`` is ``p0.v[creator]`` learned (possibly
+        stale) from the page's home. Returns bytes discarded.
+        """
+        entries = self.per_page.get(page)
+        if not entries:
+            return 0
+        kept: List[DiffLogEntry] = []
+        dropped_bytes = 0
+        for e in entries:
+            if e.t[creator] > min_keep_interval:
+                kept.append(e)
+            else:
+                dropped_bytes += e.size_bytes
+                if e.saved:
+                    self.bytes_discarded_saved += e.size_bytes
+        self.per_page[page] = kept
+        self.bytes_discarded += dropped_bytes
+        return dropped_bytes
+
+    @property
+    def volatile_bytes(self) -> int:
+        return sum(
+            e.size_bytes for es in self.per_page.values() for e in es
+        )
+
+    @property
+    def unsaved_bytes(self) -> int:
+        return sum(
+            e.size_bytes
+            for es in self.per_page.values()
+            for e in es
+            if not e.saved
+        )
+
+    @property
+    def saved_bytes(self) -> int:
+        """Current stable-storage footprint of this log."""
+        return sum(
+            e.size_bytes
+            for es in self.per_page.values()
+            for e in es
+            if e.saved
+        )
+
+    def mark_all_saved(self) -> int:
+        """Flush: mark unsaved entries saved; returns bytes newly written."""
+        written = 0
+        for es in self.per_page.values():
+            for e in es:
+                if not e.saved:
+                    e.saved = True
+                    written += e.size_bytes
+        return written
+
+    def snapshot(self) -> Dict[PageId, List[DiffLogEntry]]:
+        """Deep-enough copy for inclusion in a checkpoint (entries are
+        immutable apart from the ``saved`` flag, which checkpointed copies
+        never flip)."""
+        return {
+            page: [DiffLogEntry(e.page, e.diff, e.t, True) for e in es]
+            for page, es in self.per_page.items()
+        }
+
+
+@dataclass
+class BarEntry:
+    episode: int
+    global_vt: VClock
+
+
+class VolatileLogs:
+    """Bundle of all volatile logs of one process."""
+
+    def __init__(self, pid: int, num_procs: int) -> None:
+        self.pid = pid
+        self.n = num_procs
+        self.rel = RelLog(num_procs)
+        self.acq = AcqLog(num_procs)
+        self.diff = DiffLog()
+        self.selfgrants: Dict[int, List[VClock]] = {}  # lock -> [acq_t]
+        self.bar: List[BarEntry] = []
+
+    # -- barrier log --------------------------------------------------------
+    def log_barrier(self, episode: int, global_vt: VClock) -> None:
+        self.bar.append(BarEntry(episode, global_vt))
+
+    def trim_barriers(self, min_keep_episode: int) -> int:
+        old = len(self.bar)
+        self.bar = [b for b in self.bar if b.episode >= min_keep_episode]
+        return old - len(self.bar)
+
+    # -- self-grant mirror ---------------------------------------------------
+    def log_self_grant(self, lock_id: int, acq_t: VClock) -> None:
+        self.selfgrants.setdefault(lock_id, []).append(acq_t)
+
+    def trim_self_grants(self, own_tckp_component: int) -> int:
+        dropped = 0
+        for lock_id, entries in self.selfgrants.items():
+            kept = [t for t in entries if t[self.pid] > own_tckp_component]
+            dropped += len(entries) - len(kept)
+            self.selfgrants[lock_id] = kept
+        return dropped

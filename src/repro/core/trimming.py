@@ -1,0 +1,96 @@
+"""LLT / CGC bounds from lazily propagated information (§4.4).
+
+Each process maintains, for every peer ``j``, the last *known* checkpoint
+timestamp ``T̂ckp_j`` (and checkpointed barrier episode), plus — for every
+page it writes that is homed elsewhere — the last known version
+``p0.v[self]`` of the home's maximal starting copy. All of it arrives
+piggybacked on ordinary protocol messages, so it may be stale; the rules
+remain *correct* with stale values and merely trim less (§4.4.4).
+
+The rules:
+
+* **Rule 1** (wn_log): retain own write notices created in intervals
+  ``>= min_{j≠i} T̂ckp_j[i] + 1``.
+* **Rule 2** (rel/acq logs): retain ``rel_log[j]`` entries with
+  ``acq_t[j] > T̂ckp_j[j]``; retain ``acq_log`` entries with
+  ``acq_t[i] > Tckp_i[i]`` (own last checkpoint).
+* **Rule 3.1** (CGC): a home retains page copies back to the newest one
+  with ``version <= Tmin = min_{j≠H} T̂ckp_j``.
+* **Rule 3.2** (LLT): a writer retains ``diff_log(p)`` entries with
+  ``diff.T[i] > p0.v[i]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.dsm.pages import PageId
+from repro.dsm.vclock import VClock
+
+__all__ = ["TrimmingInfo"]
+
+
+class TrimmingInfo:
+    """Per-process view of the (stale-tolerant) trimming bounds."""
+
+    def __init__(self, pid: int, num_procs: int) -> None:
+        self.pid = pid
+        self.n = num_procs
+        #: last known checkpoint timestamp per process (own is exact)
+        self.tckp: List[VClock] = [VClock.zero(num_procs) for _ in range(num_procs)]
+        #: last known checkpointed barrier episode per process
+        self.bar_ep: List[int] = [0] * num_procs
+        #: page -> last known p0.v[self] at the page's home (Rule 3.2 input)
+        self.p0v: Dict[PageId, int] = {}
+
+    # ------------------------------------------------------------------
+    # updates from piggybacked control data
+    # ------------------------------------------------------------------
+    def learn_tckp(self, proc: int, tckp: VClock, bar_ep: int = 0) -> None:
+        """Monotone update of a peer's checkpoint timestamp."""
+        self.tckp[proc] = self.tckp[proc].join(tckp)
+        self.bar_ep[proc] = max(self.bar_ep[proc], bar_ep)
+
+    def learn_p0v(self, page: PageId, version_component: int) -> None:
+        cur = self.p0v.get(page, 0)
+        if version_component > cur:
+            self.p0v[page] = version_component
+
+    # ------------------------------------------------------------------
+    # derived bounds
+    # ------------------------------------------------------------------
+    def tmin(self) -> VClock:
+        """Rule 3.1 bound: componentwise min of *other* processes' T̂ckp."""
+        out: Optional[VClock] = None
+        for j in range(self.n):
+            if j == self.pid:
+                continue
+            out = self.tckp[j] if out is None else out.meet(self.tckp[j])
+        if out is None:  # single-process cluster
+            return self.tckp[self.pid]
+        return out
+
+    def wn_keep_from(self) -> int:
+        """Rule 1 bound: first own interval that must be retained."""
+        vals = [self.tckp[j][self.pid] for j in range(self.n) if j != self.pid]
+        if not vals:
+            return 1
+        return min(vals) + 1
+
+    def rel_bound(self, acquirer: int) -> int:
+        """Rule 2 bound for rel_log[acquirer]."""
+        return self.tckp[acquirer][acquirer]
+
+    def acq_bound(self) -> int:
+        """Rule 2 bound for the own acq_log (own checkpoint component)."""
+        return self.tckp[self.pid][self.pid]
+
+    def diff_bound(self, page: PageId) -> int:
+        """Rule 3.2 bound for diff_log(page)."""
+        return self.p0v.get(page, 0)
+
+    def bar_keep_from(self) -> int:
+        """Barrier-log analogue of Rule 2: min checkpointed episode of peers."""
+        vals = [self.bar_ep[j] for j in range(self.n) if j != self.pid]
+        return min(vals) if vals else 0

@@ -1,0 +1,93 @@
+"""Diff computation and application (the multi-writer mechanism of HLRC).
+
+A *twin* is a copy of a page taken before its first write in an interval;
+at flush time the *diff* is the set of byte runs where the current page
+differs from the twin. Diffs are what writers send to homes and what the
+fault-tolerance layer logs ("logs only changes made to a page", §2).
+
+The scan is vectorized with NumPy (the guide's "vectorizing for loops"):
+a byte-wise inequality mask is reduced to run boundaries with
+``np.flatnonzero`` on the XOR of adjacent mask elements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+__all__ = ["Diff", "compute_diff", "apply_diff", "merge_runs"]
+
+#: modeled per-run wire/log overhead: (offset: u16, length: u16) plus
+#: alignment — 8 bytes, matching compact diff encodings in real systems.
+RUN_HEADER_BYTES = 8
+
+
+@dataclass(frozen=True)
+class Diff:
+    """An encoded page diff: sorted, non-overlapping, non-adjacent runs."""
+
+    runs: Tuple[Tuple[int, bytes], ...]  # (offset, data), sorted by offset
+
+    @property
+    def empty(self) -> bool:
+        return not self.runs
+
+    @property
+    def payload_bytes(self) -> int:
+        return sum(len(d) for _, d in self.runs)
+
+    @property
+    def size_bytes(self) -> int:
+        """Modeled encoded size (payload + per-run headers)."""
+        return self.payload_bytes + RUN_HEADER_BYTES * len(self.runs)
+
+    def covered(self) -> List[Tuple[int, int]]:
+        """[(offset, end)) intervals touched by this diff."""
+        return [(off, off + len(d)) for off, d in self.runs]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Diff({len(self.runs)} runs, {self.payload_bytes}B)"
+
+
+def compute_diff(twin: np.ndarray, page: np.ndarray) -> Diff:
+    """Diff of ``page`` against its ``twin`` (both uint8, same length)."""
+    if twin.shape != page.shape:
+        raise ValueError(f"shape mismatch: {twin.shape} vs {page.shape}")
+    if twin.dtype != np.uint8 or page.dtype != np.uint8:
+        raise TypeError("pages must be uint8 arrays")
+    neq = twin != page
+    if not neq.any():
+        return Diff(())
+    # Boundaries where the mask flips; prepend/append sentinels so that
+    # runs touching the page edges are closed.
+    padded = np.concatenate(([False], neq, [False]))
+    edges = np.flatnonzero(padded[1:] != padded[:-1])
+    starts, ends = edges[0::2], edges[1::2]
+    runs = tuple(
+        (int(s), page[s:e].tobytes()) for s, e in zip(starts, ends)
+    )
+    return Diff(runs)
+
+
+def apply_diff(page: np.ndarray, diff: Diff) -> None:
+    """Apply ``diff`` in place to ``page`` (uint8)."""
+    n = len(page)
+    for off, data in diff.runs:
+        end = off + len(data)
+        if off < 0 or end > n:
+            raise ValueError(f"diff run [{off},{end}) outside page of {n} bytes")
+        page[off:end] = np.frombuffer(data, dtype=np.uint8)
+
+
+def merge_runs(diffs: List[Diff]) -> List[Tuple[int, int]]:
+    """Union of the byte intervals covered by several diffs (for tests)."""
+    ivals = sorted(iv for d in diffs for iv in d.covered())
+    out: List[Tuple[int, int]] = []
+    for s, e in ivals:
+        if out and s <= out[-1][1]:
+            out[-1] = (out[-1][0], max(out[-1][1], e))
+        else:
+            out.append((s, e))
+    return out

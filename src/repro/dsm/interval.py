@@ -1,0 +1,104 @@
+"""Write-notice bookkeeping (interval records).
+
+Every process keeps a :class:`NoticeTable` of all write notices it knows
+about — its own (which double as the FT layer's ``wn_log``, §4.2.1: "logging
+write notices is done as part of the base protocol") and those received in
+lock grants and barrier releases. Notices are indexed by creator and
+interval so that the happened-before filtering of lazy release consistency
+(send exactly the notices in intervals ``(acq_vt[c], rel_vt[c]]``) is a
+range query.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right, insort
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.dsm.messages import WriteNotice
+from repro.dsm.pages import PageId
+from repro.dsm.vclock import VClock
+
+__all__ = ["NoticeTable"]
+
+
+class NoticeTable:
+    """Per-process store of write notices, indexed by (creator, interval)."""
+
+    def __init__(self, num_procs: int) -> None:
+        self.n = num_procs
+        # creator -> sorted list of intervals; creator -> interval -> notices
+        self._intervals: List[List[int]] = [[] for _ in range(num_procs)]
+        self._by_interval: List[Dict[int, List[WriteNotice]]] = [
+            {} for _ in range(num_procs)
+        ]
+
+    def add(self, notice: WriteNotice) -> bool:
+        """Insert a notice; returns False if already known."""
+        table = self._by_interval[notice.creator]
+        bucket = table.get(notice.interval)
+        if bucket is None:
+            bucket = []
+            table[notice.interval] = bucket
+            insort(self._intervals[notice.creator], notice.interval)
+        if any(n.page == notice.page for n in bucket):
+            return False
+        bucket.append(notice)
+        return True
+
+    def add_all(self, notices: Iterable[WriteNotice]) -> List[WriteNotice]:
+        """Insert many; returns the ones that were new."""
+        return [n for n in notices if self.add(n)]
+
+    def between(self, low: VClock, high: VClock) -> List[WriteNotice]:
+        """Notices with ``low[c] < interval <= high[c]`` for their creator.
+
+        This is exactly the happened-before set a lock grantor with release
+        time ``high`` must send to an acquirer at time ``low``.
+        """
+        out: List[WriteNotice] = []
+        for c in range(self.n):
+            lo, hi = low[c], high[c]
+            if hi <= lo:
+                continue
+            ivs = self._intervals[c]
+            start = bisect_right(ivs, lo)
+            end = bisect_right(ivs, hi)
+            for k in range(start, end):
+                out.extend(self._by_interval[c][ivs[k]])
+        return out
+
+    def own_after(self, creator: int, min_interval: int) -> List[WriteNotice]:
+        """Notices created by ``creator`` in intervals > ``min_interval``."""
+        ivs = self._intervals[creator]
+        start = bisect_right(ivs, min_interval)
+        out: List[WriteNotice] = []
+        for k in range(start, len(ivs)):
+            out.extend(self._by_interval[creator][ivs[k]])
+        return out
+
+    def trim_creator_before(self, creator: int, min_keep_interval: int) -> int:
+        """Drop notices of ``creator`` with interval < ``min_keep_interval``.
+
+        Implements Rule 1 (wn_log trimming) when applied to the process's
+        own notices. Returns the number of notices dropped.
+        """
+        ivs = self._intervals[creator]
+        cut = bisect_left(ivs, min_keep_interval)
+        dropped = 0
+        for k in range(cut):
+            dropped += len(self._by_interval[creator].pop(ivs[k]))
+        del ivs[:cut]
+        return dropped
+
+    def count(self) -> int:
+        return sum(
+            len(b) for table in self._by_interval for b in table.values()
+        )
+
+    def all_notices(self) -> List[WriteNotice]:
+        return [
+            n
+            for table in self._by_interval
+            for bucket in table.values()
+            for n in bucket
+        ]

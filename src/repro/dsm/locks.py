@@ -1,0 +1,220 @@
+"""Distributed queue-based locks.
+
+Each lock has a statically assigned *manager* (``lock_id mod n``). An
+acquire request goes to the manager, which forwards it to the most recent
+requester it knows of, forming a distributed FIFO queue: every process in
+the chain grants the lock directly to its successor when it releases
+(§3, Figure 1 — the grant message carries the releaser's vector time and
+the write notices the acquirer is missing).
+
+For recoverability the manager keeps the *request chain* (the ordered
+list of requesters) and grantors send it a small asynchronous
+``GrantInfo`` notification, so that after a fail-stop the manager knows
+where the token is and can re-issue a forward whose original copy died
+with the failed process. Requests carry a per-(acquirer, lock) sequence
+number so re-sent requests after recovery are idempotent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.dsm.vclock import VClock
+
+__all__ = ["LockState", "LockManagerState", "LockTable"]
+
+
+@dataclass
+class LockState:
+    """Per-process token state for one lock."""
+
+    has_token: bool = False
+    held: bool = False
+    rel_vt: Optional[VClock] = None  # vt snapshot at last release here
+    successor: Optional[Tuple[int, VClock, int]] = None  # (acquirer, acq_vt, seq)
+    #: acquirer -> highest request seq this process has granted; makes
+    #: re-issued forwards after a recovery idempotent
+    granted: Dict[int, int] = field(default_factory=dict)
+
+
+@dataclass
+class ChainEntry:
+    acquirer: int
+    seq: int
+
+
+class LockManagerState:
+    """Manager-side state: the request chain and the known owner position."""
+
+    def __init__(self, manager: int) -> None:
+        self.chain: List[ChainEntry] = [ChainEntry(manager, 0)]
+        self.owner_pos: int = 0
+        self.last_seq: Dict[int, int] = {}  # acquirer -> highest seq seen
+        #: remote mirror of self-grant events: proc -> [acq_t, ...]
+        #: (needed for replay of local re-acquires; trimmed by the
+        #: Rule 2 analogue using the grantor's checkpoint timestamp)
+        self.self_grants: Dict[int, List[VClock]] = {}
+
+    def log_self_grant(self, proc: int, acq_t: VClock) -> None:
+        self.self_grants.setdefault(proc, []).append(acq_t)
+
+    def trim_self_grants(self, proc: int, tckp_component: int) -> int:
+        """Keep self-grants of ``proc`` with ``acq_t[proc] > tckp_component``."""
+        entries = self.self_grants.get(proc)
+        if not entries:
+            return 0
+        kept = [t for t in entries if t[proc] > tckp_component]
+        dropped = len(entries) - len(kept)
+        self.self_grants[proc] = kept
+        return dropped
+
+    @property
+    def last_requester(self) -> int:
+        return self.chain[-1].acquirer
+
+    def is_duplicate(self, acquirer: int, seq: int) -> bool:
+        return seq <= self.last_seq.get(acquirer, -1)
+
+    def append(self, acquirer: int, seq: int) -> int:
+        """Record a new request; returns the previous chain tail (forward target)."""
+        prev = self.chain[-1].acquirer
+        self.chain.append(ChainEntry(acquirer, seq))
+        self.last_seq[acquirer] = seq
+        self._prune()
+        return prev
+
+    def grant_observed(self, grantee: int) -> None:
+        """A GrantInfo said the token moved to ``grantee``."""
+        for i in range(self.owner_pos + 1, len(self.chain)):
+            if self.chain[i].acquirer == grantee:
+                self.owner_pos = i
+                self._prune()
+                return
+        # GrantInfo for a local re-acquire or stale duplicate: ignore.
+
+    def owner(self) -> int:
+        return self.chain[self.owner_pos].acquirer
+
+    def waiter_after(self, proc: int) -> Optional[ChainEntry]:
+        """The chain entry immediately after ``proc``'s latest position."""
+        for i in range(len(self.chain) - 1, -1, -1):
+            if self.chain[i].acquirer == proc:
+                return self.chain[i + 1] if i + 1 < len(self.chain) else None
+        return None
+
+    def in_chain_at_or_after_owner(self, acquirer: int) -> bool:
+        return any(
+            e.acquirer == acquirer for e in self.chain[self.owner_pos:]
+        )
+
+    def _prune(self) -> None:
+        # chain entries strictly before the owner are history
+        if self.owner_pos > 8:
+            drop = self.owner_pos - 1
+            del self.chain[:drop]
+            self.owner_pos -= drop
+
+
+class LockTable:
+    """All lock state at one process (token states + managed locks)."""
+
+    def __init__(self, pid: int, num_procs: int) -> None:
+        self.pid = pid
+        self.n = num_procs
+        self._tokens: Dict[int, LockState] = {}
+        self._managed: Dict[int, LockManagerState] = {}
+
+    # -- token side -------------------------------------------------------
+    def token(self, lock_id: int) -> LockState:
+        st = self._tokens.get(lock_id)
+        if st is None:
+            st = LockState()
+            # The manager starts as the initial resting place of the token,
+            # with a zero release snapshot (first acquirer needs nothing).
+            if self.manager_of(lock_id) == self.pid:
+                st.has_token = True
+                st.rel_vt = VClock.zero(self.n)
+            self._tokens[lock_id] = st
+        return st
+
+    def manager_of(self, lock_id: int) -> int:
+        return lock_id % self.n
+
+    def known_locks(self) -> List[int]:
+        return list(self._tokens.keys())
+
+    # -- manager side -------------------------------------------------------
+    def manages(self, lock_id: int) -> bool:
+        return self.manager_of(lock_id) == self.pid
+
+    def manager(self, lock_id: int) -> LockManagerState:
+        if not self.manages(lock_id):
+            raise RuntimeError(f"process {self.pid} does not manage lock {lock_id}")
+        st = self._managed.get(lock_id)
+        if st is None:
+            st = LockManagerState(self.pid)
+            self._managed[lock_id] = st
+        return st
+
+    def managed_locks(self) -> List[int]:
+        return list(self._managed.keys())
+
+    # -- recovery support ---------------------------------------------------
+    def token_snapshot(self) -> Dict[int, Tuple[bool, bool]]:
+        """lock_id -> (has_token, held); used in checkpoints and queries."""
+        return {l: (st.has_token, st.held) for l, st in self._tokens.items()}
+
+    def chain_snapshot(self) -> Dict[int, Tuple[bool, bool, Optional[int], int]]:
+        """lock -> (has_token, held, successor acquirer, successor seq).
+
+        Recovery queries use this to rebuild a crashed manager's chain
+        from the live processes' successor pointers.
+        """
+        out: Dict[int, Tuple[bool, bool, Optional[int], int]] = {}
+        for l, st in self._tokens.items():
+            if st.successor is not None:
+                out[l] = (st.has_token, st.held, st.successor[0], st.successor[2])
+            else:
+                out[l] = (st.has_token, st.held, None, 0)
+        return out
+
+    def restore_chain(
+        self, lock_id: int, holder: int, edges: Dict[int, Tuple[int, int]]
+    ) -> None:
+        """Rebuild a managed lock's chain from the token holder onward.
+
+        ``edges`` maps a process to its (successor, seq) pointer; the
+        chain is the walk from ``holder`` through the pointers. A crashed
+        holder loses its own successor pointer, leaving a headless path —
+        it is re-attached right after the holder (single-fault: at most
+        one pointer is missing). Waiters whose requests died with the old
+        manager re-enter by re-sending.
+        """
+        st = self.manager(lock_id)
+        st.chain = [ChainEntry(holder, st.last_seq.get(holder, 0))]
+        st.owner_pos = 0
+        seen = {holder}
+
+        def walk(cur: int) -> None:
+            while cur in edges:
+                nxt, seq = edges[cur]
+                if nxt in seen:
+                    break
+                st.chain.append(ChainEntry(nxt, seq))
+                st.last_seq[nxt] = max(st.last_seq.get(nxt, -1), seq)
+                seen.add(nxt)
+                cur = nxt
+
+        walk(holder)
+        targets = {t for (t, _) in edges.values()}
+        while True:
+            heads = sorted(
+                s for s in edges if s not in seen and s not in targets
+            )
+            if not heads:
+                break
+            for h in heads:
+                st.chain.append(ChainEntry(h, st.last_seq.get(h, 0)))
+                seen.add(h)
+                walk(h)

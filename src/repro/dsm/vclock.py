@@ -1,0 +1,117 @@
+"""Vector timestamps (logical vector time) for LRC interval ordering.
+
+A process's *local logical time* is its interval counter; the vector
+timestamp ``vt`` of process ``i`` satisfies ``vt[i] = `` current interval
+of ``i`` and ``vt[j] = `` the most recent interval of ``j`` whose effects
+``i`` has seen (§3). Timestamps are immutable tuples: every mutation
+returns a new value, which eliminates aliasing bugs between protocol
+state, logs and checkpoints.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+__all__ = ["VClock"]
+
+
+class VClock:
+    """Immutable vector timestamp over ``n`` processes."""
+
+    __slots__ = ("v",)
+
+    def __init__(self, v: Iterable[int]):
+        self.v: Tuple[int, ...] = tuple(int(x) for x in v)
+        if any(x < 0 for x in self.v):
+            raise ValueError(f"negative component in {self.v}")
+
+    @classmethod
+    def zero(cls, n: int) -> "VClock":
+        return cls((0,) * n)
+
+    def __len__(self) -> int:
+        return len(self.v)
+
+    def __getitem__(self, i: int) -> int:
+        return self.v[i]
+
+    def __iter__(self):
+        return iter(self.v)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, VClock) and self.v == other.v
+
+    def __hash__(self) -> int:
+        return hash(self.v)
+
+    def __repr__(self) -> str:
+        return f"VClock{self.v}"
+
+    # -- partial order ---------------------------------------------------
+    def leq(self, other: "VClock") -> bool:
+        """Componentwise ``self <= other`` (the happened-before order)."""
+        self._check(other)
+        return all(a <= b for a, b in zip(self.v, other.v))
+
+    def lt(self, other: "VClock") -> bool:
+        return self.leq(other) and self.v != other.v
+
+    def concurrent(self, other: "VClock") -> bool:
+        return not self.leq(other) and not other.leq(self)
+
+    # -- lattice operations ----------------------------------------------
+    def join(self, other: "VClock") -> "VClock":
+        """Componentwise max (least upper bound)."""
+        self._check(other)
+        return VClock(max(a, b) for a, b in zip(self.v, other.v))
+
+    def meet(self, other: "VClock") -> "VClock":
+        """Componentwise min (greatest lower bound)."""
+        self._check(other)
+        return VClock(min(a, b) for a, b in zip(self.v, other.v))
+
+    # -- updates -----------------------------------------------------------
+    def bump(self, i: int, by: int = 1) -> "VClock":
+        """New clock with component ``i`` advanced by ``by``."""
+        if not (0 <= i < len(self.v)):
+            raise IndexError(i)
+        if by < 0:
+            raise ValueError("cannot decrease a component")
+        return VClock(
+            x + by if j == i else x for j, x in enumerate(self.v)
+        )
+
+    def with_component(self, i: int, value: int) -> "VClock":
+        if not (0 <= i < len(self.v)):
+            raise IndexError(i)
+        return VClock(value if j == i else x for j, x in enumerate(self.v))
+
+    def _check(self, other: "VClock") -> None:
+        if len(self.v) != len(other.v):
+            raise ValueError(
+                f"vector length mismatch: {len(self.v)} vs {len(other.v)}"
+            )
+
+
+def vmin(clocks: Iterable[VClock]) -> VClock:
+    """Componentwise minimum over a non-empty iterable of clocks."""
+    it = iter(clocks)
+    try:
+        out = next(it)
+    except StopIteration:
+        raise ValueError("vmin of empty iterable") from None
+    for c in it:
+        out = out.meet(c)
+    return out
+
+
+def vmax(clocks: Iterable[VClock]) -> VClock:
+    """Componentwise maximum over a non-empty iterable of clocks."""
+    it = iter(clocks)
+    try:
+        out = next(it)
+    except StopIteration:
+        raise ValueError("vmax of empty iterable") from None
+    for c in it:
+        out = out.join(c)
+    return out

@@ -1,0 +1,27 @@
+"""Experiment harness regenerating every table and figure of §5."""
+
+from repro.harness.experiment import (
+    PAPER,
+    AppSetup,
+    ExperimentResult,
+    paper_setups,
+    run_base,
+    run_ft,
+)
+from repro.harness.tables import table1, table2, table3, table4
+from repro.harness.figures import figure3, figure4
+
+__all__ = [
+    "PAPER",
+    "AppSetup",
+    "ExperimentResult",
+    "paper_setups",
+    "run_base",
+    "run_ft",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "figure3",
+    "figure4",
+]

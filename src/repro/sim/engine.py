@@ -1,0 +1,282 @@
+"""Discrete-event simulation engine with coroutine trampolining.
+
+The engine owns a virtual clock and a priority queue of events. Simulated
+processes are plain Python generators: they ``yield`` *effects* and the
+engine resumes them when the effect completes. Two effects exist:
+
+``Delay(seconds)``
+    Resume the coroutine after ``seconds`` of virtual time.
+
+``Future``
+    Resume the coroutine when some other party calls
+    :meth:`Future.resolve`; the resolved value is returned by the
+    ``yield`` expression.
+
+Composition uses ``yield from``: any blocking sub-operation is itself a
+generator, so deep call stacks of DSM operations need no threads and the
+whole simulation is single-threaded and deterministic — a run is a pure
+function of its configuration. Determinism is what makes the paper's
+piece-wise-deterministic replay (§4.3) testable.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Iterator, List, Optional, Tuple
+
+__all__ = [
+    "Delay",
+    "Future",
+    "Engine",
+    "SimProcess",
+    "SimProcessKilled",
+    "SimulationError",
+]
+
+
+class SimulationError(RuntimeError):
+    """Raised for internal inconsistencies in the simulation."""
+
+
+class SimProcessKilled(Exception):
+    """Thrown into a coroutine when its process is fail-stopped."""
+
+
+@dataclass(frozen=True)
+class Delay:
+    """Effect: resume the yielding coroutine after ``seconds`` of sim time."""
+
+    seconds: float
+
+    def __post_init__(self) -> None:
+        if self.seconds < 0:
+            raise ValueError(f"negative delay: {self.seconds}")
+
+
+class Future:
+    """A one-shot resolvable value; coroutines block on it by yielding it.
+
+    Multiple coroutines may wait on the same future; all are resumed with
+    the same value (in registration order, at the same virtual instant).
+    """
+
+    __slots__ = ("_resolved", "_value", "_waiters", "label")
+
+    def __init__(self, label: str = "") -> None:
+        self._resolved = False
+        self._value: Any = None
+        self._waiters: List[Callable[[Any], None]] = []
+        self.label = label
+
+    @property
+    def resolved(self) -> bool:
+        return self._resolved
+
+    @property
+    def value(self) -> Any:
+        if not self._resolved:
+            raise SimulationError(f"future {self.label!r} read before resolution")
+        return self._value
+
+    def resolve(self, value: Any = None) -> None:
+        if self._resolved:
+            raise SimulationError(f"future {self.label!r} resolved twice")
+        self._resolved = True
+        self._value = value
+        waiters, self._waiters = self._waiters, []
+        for cb in waiters:
+            cb(value)
+
+    def add_callback(self, cb: Callable[[Any], None]) -> None:
+        if self._resolved:
+            cb(self._value)
+        else:
+            self._waiters.append(cb)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "resolved" if self._resolved else "pending"
+        return f"<Future {self.label!r} {state}>"
+
+
+Coroutine = Generator[Any, Any, Any]
+
+
+class SimProcess:
+    """Handle for a spawned coroutine; supports fail-stop kills."""
+
+    __slots__ = ("gen", "name", "alive", "done", "result", "engine")
+
+    def __init__(self, engine: "Engine", gen: Coroutine, name: str) -> None:
+        self.engine = engine
+        self.gen = gen
+        self.name = name
+        self.alive = True
+        self.done = False
+        self.result: Any = None
+
+    def kill(self) -> None:
+        """Fail-stop this process: it never runs again.
+
+        The generator is closed so that ``finally`` blocks run, but a
+        fail-stopped process must not perform recovery actions there;
+        application code treats :class:`SimProcessKilled` as a crash.
+        """
+        if not self.alive:
+            return
+        self.alive = False
+        try:
+            self.gen.throw(SimProcessKilled())
+        except (SimProcessKilled, StopIteration):
+            pass
+        except RuntimeError:
+            # generator already executing/closed; nothing more to do
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self.done else ("alive" if self.alive else "killed")
+        return f"<SimProcess {self.name} {state}>"
+
+
+@dataclass(order=True)
+class _Event:
+    time: float
+    seq: int
+    fn: Callable[[], None] = field(compare=False)
+
+
+class Engine:
+    """Virtual-clock event loop.
+
+    Events at equal times fire in scheduling order (a stable tiebreaker
+    keeps the simulation deterministic). :meth:`run` drains the queue or
+    stops at ``until``.
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._queue: List[_Event] = []
+        self._seq = itertools.count()
+        self._processes: List[SimProcess] = []
+        self.steps: int = 0
+
+    # ------------------------------------------------------------------
+    # event scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, fn: Callable[[], None]) -> None:
+        """Run ``fn()`` after ``delay`` seconds of virtual time."""
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        heapq.heappush(self._queue, _Event(self.now + delay, next(self._seq), fn))
+
+    def call_soon(self, fn: Callable[[], None]) -> None:
+        """Run ``fn()`` at the current virtual time, after pending work."""
+        self.schedule(0.0, fn)
+
+    # ------------------------------------------------------------------
+    # coroutine trampoline
+    # ------------------------------------------------------------------
+    def spawn(self, gen: Coroutine, name: str = "proc") -> SimProcess:
+        """Start driving a coroutine; returns its process handle."""
+        proc = SimProcess(self, gen, name)
+        self._processes.append(proc)
+        self.call_soon(lambda: self._step(proc, None, first=True))
+        return proc
+
+    def _step(self, proc: SimProcess, value: Any, first: bool = False) -> None:
+        if not proc.alive or proc.done:
+            return
+        try:
+            effect = proc.gen.send(None if first else value)
+        except StopIteration as stop:
+            proc.done = True
+            proc.result = stop.value
+            return
+        self._handle_effect(proc, effect)
+
+    def _handle_effect(self, proc: SimProcess, effect: Any) -> None:
+        if isinstance(effect, Delay):
+            self.schedule(effect.seconds, lambda: self._step(proc, None))
+        elif isinstance(effect, Future):
+            effect.add_callback(
+                lambda v: self.call_soon(lambda: self._step(proc, v))
+            )
+        else:
+            raise SimulationError(
+                f"process {proc.name} yielded unsupported effect {effect!r}"
+            )
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None, max_steps: int = 500_000_000) -> float:
+        """Process events until the queue drains or ``until`` is reached.
+
+        Returns the final virtual time.
+        """
+        while self._queue:
+            if until is not None and self._queue[0].time > until:
+                self.now = until
+                return self.now
+            ev = heapq.heappop(self._queue)
+            if ev.time < self.now - 1e-12:
+                raise SimulationError("time went backwards")
+            self.now = max(self.now, ev.time)
+            ev.fn()
+            self.steps += 1
+            if self.steps > max_steps:
+                raise SimulationError(
+                    f"exceeded {max_steps} events; suspected livelock at t={self.now}"
+                )
+        return self.now
+
+    def run_until_done(
+        self, procs: List[SimProcess], max_steps: int = 500_000_000
+    ) -> float:
+        """Run until every process in ``procs`` has finished or been killed."""
+        while self._queue:
+            if all(p.done or not p.alive for p in procs):
+                break
+            ev = heapq.heappop(self._queue)
+            self.now = max(self.now, ev.time)
+            ev.fn()
+            self.steps += 1
+            if self.steps > max_steps:
+                raise SimulationError(
+                    f"exceeded {max_steps} events; suspected livelock at t={self.now}"
+                )
+        pending = [p.name for p in procs if not p.done and p.alive]
+        if pending:
+            raise SimulationError(
+                f"simulation deadlock: queue drained with processes blocked: {pending}"
+            )
+        return self.now
+
+
+def sleep(seconds: float) -> Iterator[Any]:
+    """Coroutine helper: ``yield from sleep(t)``."""
+    yield Delay(seconds)
+
+
+def gather(engine: Engine, futures: List[Future], label: str = "gather") -> Future:
+    """Return a future resolving (to the list of values) when all inputs do."""
+    out = Future(label)
+    remaining = [len(futures)]
+    values: List[Any] = [None] * len(futures)
+    if not futures:
+        out.resolve([])
+        return out
+
+    def make_cb(i: int) -> Callable[[Any], None]:
+        def cb(v: Any) -> None:
+            values[i] = v
+            remaining[0] -= 1
+            if remaining[0] == 0:
+                out.resolve(values)
+
+        return cb
+
+    for i, f in enumerate(futures):
+        f.add_callback(make_cb(i))
+    return out

@@ -1,0 +1,105 @@
+"""Stable-storage model: per-node disks and crash-surviving stores.
+
+The paper assumes "the stable storage used by a node remains available
+after a failure, so that the process can be restarted on the same or on
+another node". We model a node's disk as a simple seek+bandwidth device
+(write time drives the Table 3 "time disk write" column) and a
+:class:`CheckpointStore` as a Python object owned by the *cluster*, not
+the process, so that fail-stopping a process leaves its stable state
+intact and readable by the restarted incarnation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.sim.engine import Delay
+
+__all__ = ["DiskConfig", "Disk", "CheckpointStore"]
+
+
+@dataclass(frozen=True)
+class DiskConfig:
+    """Late-1990s commodity IDE disk: ~10 ms seek, ~15 MB/s sequential."""
+
+    seek_time: float = 10e-3
+    write_bandwidth: float = 15e6  # bytes/s
+    read_bandwidth: float = 20e6  # bytes/s
+
+
+class Disk:
+    """One node's local disk; tracks cumulative traffic and busy time."""
+
+    def __init__(self, config: Optional[DiskConfig] = None) -> None:
+        self.config = config or DiskConfig()
+        self.bytes_written: int = 0
+        self.bytes_read: int = 0
+        self.write_time: float = 0.0
+        self.read_time: float = 0.0
+
+    def write_cost(self, nbytes: int) -> float:
+        if nbytes <= 0:
+            return 0.0
+        return self.config.seek_time + nbytes / self.config.write_bandwidth
+
+    def read_cost(self, nbytes: int) -> float:
+        if nbytes <= 0:
+            return 0.0
+        return self.config.seek_time + nbytes / self.config.read_bandwidth
+
+    def write(self, nbytes: int) -> Iterator[Delay]:
+        """Coroutine: block for the duration of a write of ``nbytes``."""
+        cost = self.write_cost(nbytes)
+        self.bytes_written += max(nbytes, 0)
+        self.write_time += cost
+        if cost > 0:
+            yield Delay(cost)
+
+    def read(self, nbytes: int) -> Iterator[Delay]:
+        cost = self.read_cost(nbytes)
+        self.bytes_read += max(nbytes, 0)
+        self.read_time += cost
+        if cost > 0:
+            yield Delay(cost)
+
+
+class CheckpointStore:
+    """Crash-surviving keyed store for one node's checkpoints and logs.
+
+    Keys are arbitrary (e.g. ``("ckpt", seqno)`` or ``("log", page_id)``);
+    values are stored by reference — callers must store immutable or
+    defensively-copied data, which the checkpoint layer does.
+    """
+
+    def __init__(self, node_id: int) -> None:
+        self.node_id = node_id
+        self._data: Dict[Any, Any] = {}
+        self._sizes: Dict[Any, int] = {}
+
+    def put(self, key: Any, value: Any, size: int) -> None:
+        if size < 0:
+            raise ValueError("negative object size")
+        self._data[key] = value
+        self._sizes[key] = size
+
+    def get(self, key: Any) -> Any:
+        return self._data[key]
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self._data
+
+    def delete(self, key: Any) -> int:
+        """Remove ``key``; returns the bytes reclaimed."""
+        self._data.pop(key)
+        return self._sizes.pop(key)
+
+    def keys(self) -> List[Any]:
+        return list(self._data.keys())
+
+    def size_of(self, key: Any) -> int:
+        return self._sizes[key]
+
+    @property
+    def used_bytes(self) -> int:
+        return sum(self._sizes.values())

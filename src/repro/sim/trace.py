@@ -1,0 +1,192 @@
+"""Structured event tracing for protocol debugging and teaching.
+
+A :class:`Tracer` attaches to a :class:`~repro.cluster.DsmCluster`
+*before* ``run`` and records protocol-level events with virtual
+timestamps: message sends, lock acquires/releases, barrier passages,
+interval flushes, page fetches, checkpoints, crashes and recoveries.
+Events are plain records, filterable and renderable as a timeline —
+the simulator's answer to a real DSM's debug logs.
+
+    cluster = DsmCluster(...)
+    tracer = Tracer(cluster, kinds={"lock", "ckpt"})
+    cluster.run(app)
+    print(tracer.render(limit=50))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Set
+
+__all__ = ["TraceEvent", "Tracer"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    time: float
+    pid: int
+    kind: str  # send | lock | barrier | flush | fetch | ckpt | failure
+    detail: str
+
+    def render(self) -> str:
+        return f"{self.time * 1e3:10.4f} ms  p{self.pid}  {self.kind:<8} {self.detail}"
+
+
+class Tracer:
+    """Records cluster events by wrapping the protocol entry points."""
+
+    KINDS = {"send", "lock", "barrier", "flush", "fetch", "ckpt", "failure"}
+
+    def __init__(
+        self,
+        cluster: Any,
+        kinds: Optional[Iterable[str]] = None,
+        max_events: int = 100_000,
+    ) -> None:
+        self.cluster = cluster
+        self.kinds: Set[str] = set(kinds) if kinds else set(self.KINDS)
+        unknown = self.kinds - self.KINDS
+        if unknown:
+            raise ValueError(f"unknown trace kinds: {sorted(unknown)}")
+        self.max_events = max_events
+        self.events: List[TraceEvent] = []
+        self.dropped = 0
+        self._install()
+
+    # ------------------------------------------------------------------
+    def _emit(self, pid: int, kind: str, detail: str) -> None:
+        if kind not in self.kinds:
+            return
+        if len(self.events) >= self.max_events:
+            self.dropped += 1
+            return
+        self.events.append(
+            TraceEvent(self.cluster.engine.now, pid, kind, detail)
+        )
+
+    def _install(self) -> None:
+        cluster = self.cluster
+        tracer = self
+
+        # message sends
+        orig_send = cluster.send
+
+        def send(src: int, dst: int, msg: Any) -> None:
+            tracer._emit(
+                src, "send", f"-> p{dst}  {type(msg).__name__} ({msg.category})"
+            )
+            orig_send(src, dst, msg)
+
+        cluster.send = send
+
+        # per-process protocol events: wrap after protocols exist
+        orig_setup = cluster.setup
+
+        def setup(app: Any) -> None:
+            orig_setup(app)
+            for host in cluster.hosts:
+                tracer._wrap_proto(host.proto)
+
+        cluster.setup = setup
+
+        # failure path
+        orig_crash = cluster.crash
+
+        def crash(pid: int) -> None:
+            tracer._emit(pid, "failure", "fail-stop")
+            orig_crash(pid)
+
+        cluster.crash = crash
+
+    def _wrap_proto(self, proto: Any) -> None:
+        tracer = self
+
+        orig_complete = proto._complete_acquire
+
+        def complete(lock_id: int, grant: Any, local: bool) -> None:
+            orig_complete(lock_id, grant, local)
+            how = "local" if local else f"from p{grant.grantor}"
+            tracer._emit(proto.pid, "lock", f"acquired L{lock_id} {how}")
+
+        proto._complete_acquire = complete
+
+        orig_release = proto.release
+
+        def release(lock_id: int):
+            tracer._emit(proto.pid, "lock", f"release L{lock_id}")
+            return orig_release(lock_id)
+
+        proto.release = release
+
+        orig_bar = proto._complete_barrier
+
+        def complete_barrier(rel: Any) -> None:
+            orig_bar(rel)
+            tracer._emit(proto.pid, "barrier", f"passed episode {rel.episode}")
+
+        proto._complete_barrier = complete_barrier
+
+        orig_flush = proto._end_interval
+
+        def end_interval():
+            dirty = len(proto._dirty)
+            result = yield from orig_flush()
+            if dirty:
+                tracer._emit(
+                    proto.pid,
+                    "flush",
+                    f"interval {proto.vt[proto.pid]}: {dirty} dirty pages",
+                )
+            return result
+
+        proto._end_interval = end_interval
+
+        orig_fetch = proto._fetch
+
+        def fetch(page: Any, entry: Any):
+            result = yield from orig_fetch(page, entry)
+            tracer._emit(proto.pid, "fetch", f"page {tuple(page)}")
+            return result
+
+        proto._fetch = fetch
+
+        ft = proto.ft
+        take = getattr(ft, "take_checkpoint", None)
+        if take is not None:
+
+            def take_checkpoint(*a, **kw):
+                result = yield from take(*a, **kw)
+                tracer._emit(
+                    proto.pid,
+                    "ckpt",
+                    f"checkpoint #{ft.stats.checkpoints_taken} "
+                    f"Tckp={tuple(proto.vt)}",
+                )
+                return result
+
+            ft.take_checkpoint = take_checkpoint
+
+    # ------------------------------------------------------------------
+    def filter(
+        self, kind: Optional[str] = None, pid: Optional[int] = None
+    ) -> List[TraceEvent]:
+        return [
+            e
+            for e in self.events
+            if (kind is None or e.kind == kind)
+            and (pid is None or e.pid == pid)
+        ]
+
+    def counts(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for e in self.events:
+            out[e.kind] = out.get(e.kind, 0) + 1
+        return out
+
+    def render(self, limit: int = 100) -> str:
+        lines = [e.render() for e in self.events[:limit]]
+        if len(self.events) > limit:
+            lines.append(f"... {len(self.events) - limit} more events")
+        if self.dropped:
+            lines.append(f"... {self.dropped} events dropped (max_events)")
+        return "\n".join(lines)

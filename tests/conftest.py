@@ -1,0 +1,55 @@
+"""Shared fixtures and builders for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import DsmCluster, DsmConfig
+from repro.apps.barnes import BarnesApp, BarnesConfig
+from repro.apps.counter import CounterApp, CounterConfig
+from repro.apps.lu import LuApp, LuConfig
+from repro.apps.water_nsq import WaterNsqApp, WaterNsqConfig
+from repro.apps.water_spatial import WaterSpatialApp, WaterSpatialConfig
+from repro.core import FtConfig, LogOverflowPolicy
+
+
+def make_app(name: str, **overrides):
+    """Small, fast default instances of every workload."""
+    if name == "counter":
+        return CounterApp(CounterConfig(**{"steps": 3, "n_elements": 512, **overrides}))
+    if name == "water-nsq":
+        return WaterNsqApp(
+            WaterNsqConfig(**{"n_molecules": 64, "steps": 3, **overrides})
+        )
+    if name == "water-spatial":
+        return WaterSpatialApp(
+            WaterSpatialConfig(**{"n_molecules": 216, "steps": 3, **overrides})
+        )
+    if name == "barnes":
+        return BarnesApp(BarnesConfig(**{"n_bodies": 128, "steps": 2, **overrides}))
+    if name == "lu":
+        return LuApp(LuConfig(**{"matrix_size": 64, "block_size": 8, **overrides}))
+    raise ValueError(name)
+
+
+def make_cluster(
+    num_procs: int = 8,
+    ft: bool = False,
+    l_fraction: float = 0.2,
+    ft_config: FtConfig | None = None,
+    **dsm_overrides,
+) -> DsmCluster:
+    return DsmCluster(
+        DsmConfig(num_procs=num_procs, **dsm_overrides),
+        ft=ft,
+        ft_config=ft_config,
+        policy_factory=lambda pid, fp: LogOverflowPolicy(l_fraction, fp),
+    )
+
+
+APP_NAMES = ["counter", "water-nsq", "water-spatial", "barnes", "lu"]
+
+
+@pytest.fixture(params=APP_NAMES)
+def app_name(request):
+    return request.param

@@ -1,0 +1,86 @@
+"""Integration tests: every workload matches its sequential golden model."""
+
+import numpy as np
+import pytest
+
+from repro.apps.barnes import BarnesConfig, reference_barnes
+from repro.apps.lu import LuConfig, reference_lu
+from repro.apps.water_nsq import WaterNsqConfig, reference_water_nsq
+from repro.apps.water_spatial import WaterSpatialConfig, reference_water_spatial
+
+from tests.conftest import APP_NAMES, make_app, make_cluster
+
+
+def test_app_matches_reference(app_name):
+    cluster = make_cluster(num_procs=8)
+    cluster.run(make_app(app_name))  # check_result asserts vs reference
+
+
+@pytest.mark.parametrize("n_procs", [2, 5, 8])
+def test_apps_across_cluster_sizes(n_procs):
+    for name in APP_NAMES:
+        cluster = make_cluster(num_procs=n_procs)
+        cluster.run(make_app(name))
+
+
+def test_water_nsq_reference_conserves_molecule_count():
+    cfg = WaterNsqConfig(n_molecules=27, steps=2)
+    pos = reference_water_nsq(cfg)
+    assert pos.shape == (27, 3)
+    assert ((pos >= 0) & (pos < 1)).all()  # stays in the unit box
+
+
+def test_water_spatial_reference_shape():
+    cfg = WaterSpatialConfig(n_molecules=64, steps=2, cells_per_side=3)
+    pos = reference_water_spatial(cfg)
+    assert pos.shape == (64, 3)
+    assert ((pos >= 0) & (pos < 1)).all()
+
+
+def test_barnes_reference_momentum_drift_small():
+    """Symmetric-ish forces: the centre of mass should move slowly."""
+    cfg = BarnesConfig(n_bodies=64, steps=3)
+    pos = reference_barnes(cfg)
+    assert pos.shape == (64, 3)
+    assert np.abs(pos.mean(axis=0)).max() < 1.0
+
+
+def test_lu_reference_reconstructs_matrix():
+    from repro.apps.lu import _initial_matrix
+
+    cfg = LuConfig(matrix_size=32, block_size=8)
+    a0 = _initial_matrix(cfg)
+    lu = reference_lu(cfg)
+    l = np.tril(lu, -1) + np.eye(cfg.matrix_size)
+    u = np.triu(lu)
+    np.testing.assert_allclose(l @ u, a0, rtol=1e-8, atol=1e-8)
+
+
+def test_barnes_workload_is_imbalanced():
+    """The core-owning process writes more diff bytes than the edge one —
+    the imbalance driving the paper's Barnes observations (§5.2)."""
+    cluster = make_cluster(num_procs=8)
+    cluster.run(make_app("barnes", steps=2))
+    diff_bytes = [h.proto.stats.diff_bytes_created for h in cluster.hosts]
+    assert max(diff_bytes) > 1.5 * (min(diff_bytes) + 1)
+
+
+def test_water_spatial_footprint_dominated_by_cells():
+    cluster = make_cluster(num_procs=8)
+    app = make_app("water-spatial", steps=1)
+    cluster.run(app)
+    assert app.r_cells.nbytes > app.r_pos.nbytes
+
+
+def test_apps_have_expected_sync_mix():
+    """water-nsq is lock-heavy, barnes is barrier-heavy, lu lock-free."""
+    stats = {}
+    for name in ("water-nsq", "barnes", "lu"):
+        cluster = make_cluster(num_procs=8)
+        cluster.run(make_app(name))
+        locks = sum(h.proto.stats.lock_acquires for h in cluster.hosts)
+        bars = sum(h.proto.stats.barriers for h in cluster.hosts)
+        stats[name] = (locks, bars)
+    assert stats["lu"][0] == 0
+    assert stats["water-nsq"][0] > stats["water-nsq"][1]
+    assert stats["barnes"][1] >= 2 * 8  # many barriers

@@ -1,0 +1,172 @@
+"""Integration tests for the comparison baselines (paper §1, §2).
+
+* whole-page logging (Richard & Singhal style),
+* coordinated checkpointing with Chandy-Lamport-style marker rounds and
+  global-rollback recovery,
+* the WAN meta-cluster topology that motivates the paper's scheme.
+"""
+
+import numpy as np
+import pytest
+
+from repro import DsmCluster, DsmConfig
+from repro.baselines import coordinated_cluster, page_logging_cluster
+from repro.core import LogOverflowPolicy
+from repro.sim.network import MetaClusterConfig
+
+from tests.conftest import make_app, make_cluster
+
+
+# ---------------------------------------------------------------------------
+# page logging
+# ---------------------------------------------------------------------------
+
+
+def test_page_logging_correct_and_bigger():
+    diff_cluster = make_cluster(num_procs=8, ft=True, l_fraction=0.1)
+    diff_cluster.run(make_app("water-nsq"))
+    page_c = page_logging_cluster(DsmConfig(num_procs=8), l_fraction=0.1)
+    page_c.run(make_app("water-nsq"))  # validates result
+    d = sum(h.ft.logs.diff.bytes_created for h in diff_cluster.hosts)
+    p = sum(h.ft.logs.diff.bytes_created for h in page_c.hosts)
+    assert p > 2 * d
+
+
+def test_page_logging_recovery_works():
+    c = page_logging_cluster(DsmConfig(num_procs=8), l_fraction=0.1)
+    T = c.run(make_app("water-nsq")).wall_time
+    c2 = page_logging_cluster(DsmConfig(num_procs=8), l_fraction=0.1)
+    c2.schedule_crash(3, at_time=T * 0.4)
+    res = c2.run(make_app("water-nsq"))
+    assert res.recoveries == 1
+
+
+# ---------------------------------------------------------------------------
+# coordinated checkpointing
+# ---------------------------------------------------------------------------
+
+
+def test_coordinated_round_commits_and_discards():
+    c = coordinated_cluster(DsmConfig(num_procs=8), l_fraction=0.05)
+    c.run(make_app("water-spatial"))
+    ft0 = c.hosts[0].ft
+    assert ft0.coord.rounds_committed >= 1
+    assert ft0.coord.round_latencies
+    # after a commit, nothing older than the round survives anywhere
+    for h in c.hosts:
+        assert h.ft.committed_round == ft0.committed_round
+        coord_keys = [
+            k for k in h.store.keys() if isinstance(k, tuple) and k[0] == "coord"
+        ]
+        assert all(k[1] >= h.ft.committed_round for k in coord_keys)
+        for copies in h.ckpt_mgr.page_copies.values():
+            assert len(copies) <= 2  # seed may linger until first commit
+
+
+def test_coordinated_checkpoints_are_aligned():
+    c = coordinated_cluster(DsmConfig(num_procs=8), l_fraction=0.05)
+    c.run(make_app("water-spatial"))
+    rounds = {h.ft.round_id for h in c.hosts}
+    assert len(rounds) == 1
+
+
+@pytest.mark.parametrize("app_name2", ["counter", "water-spatial", "barnes"])
+@pytest.mark.parametrize("frac", [0.3, 0.6])
+def test_coordinated_global_rollback(app_name2, frac):
+    c = coordinated_cluster(DsmConfig(num_procs=8), l_fraction=0.1)
+    T = c.run(make_app(app_name2)).wall_time
+    c2 = coordinated_cluster(DsmConfig(num_procs=8), l_fraction=0.1)
+    c2.schedule_crash(3, at_time=T * frac)
+    res = c2.run(make_app(app_name2))  # validates result
+    assert res.recoveries == 1
+    # everyone rolled back (not just the victim)
+    assert all(h.recovered_count == 1 for h in c2.hosts)
+
+
+def test_rollback_loses_everyones_work():
+    """The cost the paper avoids: rollback re-executes on all nodes, so
+    the stretch exceeds the single-victim replay of the independent
+    scheme for the same crash point."""
+    ind = make_cluster(num_procs=8, ft=True, l_fraction=0.1)
+    T = ind.run(make_app("water-spatial")).wall_time
+
+    ind2 = make_cluster(num_procs=8, ft=True, l_fraction=0.1)
+    ind2.schedule_crash(3, at_time=T * 0.6)
+    t_ind = ind2.run(make_app("water-spatial")).wall_time
+
+    co = coordinated_cluster(DsmConfig(num_procs=8), l_fraction=0.1)
+    Tc = co.run(make_app("water-spatial")).wall_time
+    co2 = coordinated_cluster(DsmConfig(num_procs=8), l_fraction=0.1)
+    co2.schedule_crash(3, at_time=Tc * 0.6)
+    t_co = co2.run(make_app("water-spatial")).wall_time
+
+    # both recover correctly; the comparison itself is reported by the
+    # benchmark harness — here we only require both to terminate and the
+    # rollback to have restarted every node
+    assert all(h.recovered_count == 1 for h in co2.hosts)
+    assert t_ind > T and t_co > Tc
+
+
+def test_coordinated_round_latency_grows_with_wan():
+    """The paper's motivating claim (§1): global coordination gets
+    expensive on meta-clusters. The commit latency of a coordinated
+    round must grow roughly with the WAN latency; the independent
+    scheme has no such round at all."""
+    lat = {}
+    for wan in (0.5e-3, 5e-3):
+        c = coordinated_cluster(
+            DsmConfig(num_procs=8),
+            l_fraction=0.05,
+            net_config=MetaClusterConfig(
+                cluster_size=4, wan_latency=wan, wan_bandwidth=50e6
+            ),
+        )
+        c.run(make_app("water-spatial"))
+        ls = c.hosts[0].ft.coord.round_latencies
+        assert ls, f"no committed round at wan={wan}"
+        lat[wan] = min(ls)
+    assert lat[5e-3] > lat[0.5e-3] + 2 * (5e-3 - 0.5e-3), lat
+
+
+# ---------------------------------------------------------------------------
+# meta-cluster topology
+# ---------------------------------------------------------------------------
+
+
+def test_meta_cluster_link_selection():
+    cfg = MetaClusterConfig(cluster_size=4, wan_latency=10e-3)
+    assert cfg.cluster_of(3) == 0 and cfg.cluster_of(4) == 1
+    assert cfg.link(0, 3) == (cfg.latency, cfg.byte_time)
+    lat, bt = cfg.link(0, 4)
+    assert lat == 10e-3
+
+
+def test_meta_cluster_runs_correctly_just_slower():
+    lan = DsmCluster(DsmConfig(num_procs=8))
+    t_lan = lan.run(make_app("counter")).wall_time
+    wan = DsmCluster(
+        DsmConfig(num_procs=8),
+        net_config=MetaClusterConfig(cluster_size=4, wan_latency=5e-3),
+    )
+    t_wan = wan.run(make_app("counter")).wall_time  # result validated
+    assert t_wan > 3 * t_lan
+
+
+def test_independent_recovery_works_on_meta_cluster():
+    net = MetaClusterConfig(cluster_size=4, wan_latency=2e-3)
+    c = DsmCluster(
+        DsmConfig(num_procs=8),
+        net_config=net,
+        ft=True,
+        policy_factory=lambda pid, fp: LogOverflowPolicy(0.1, fp),
+    )
+    T = c.run(make_app("counter")).wall_time
+    c2 = DsmCluster(
+        DsmConfig(num_procs=8),
+        net_config=net,
+        ft=True,
+        policy_factory=lambda pid, fp: LogOverflowPolicy(0.1, fp),
+    )
+    c2.schedule_crash(5, at_time=T * 0.4)  # victim in the remote cluster
+    res = c2.run(make_app("counter"))
+    assert res.recoveries == 1

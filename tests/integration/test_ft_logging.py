@@ -1,0 +1,176 @@
+"""Integration tests for the FT layer in failure-free runs:
+logging, checkpointing, LLT and CGC invariants (§4.2, §4.4, §5)."""
+
+import pytest
+
+from repro.core import FtConfig
+from repro.core.policies import NeverPolicy
+from repro import DsmCluster, DsmConfig
+from repro.core import LogOverflowPolicy
+
+from tests.conftest import make_app, make_cluster
+
+
+def run_ft(name="counter", l_fraction=0.1, n=8, ft_config=None, **app_kw):
+    cluster = make_cluster(
+        num_procs=n, ft=True, l_fraction=l_fraction, ft_config=ft_config
+    )
+    res = cluster.run(make_app(name, **app_kw))
+    return cluster, res
+
+
+def test_results_identical_with_ft_enabled(app_name):
+    """Fault tolerance must not change application results."""
+    cluster, _ = run_ft(app_name)
+    # check_result already ran inside cluster.run
+
+
+def test_checkpoints_taken_under_log_overflow():
+    cluster, res = run_ft("counter", l_fraction=0.02)
+    ckpts = [s.checkpoints_taken for s in res.ft_stats]
+    assert sum(ckpts) > 0
+    # higher L -> fewer checkpoints
+    _, res2 = run_ft("counter", l_fraction=0.5)
+    assert sum(s.checkpoints_taken for s in res2.ft_stats) <= sum(ckpts)
+
+
+def test_diff_logs_grow_and_get_saved():
+    cluster, res = run_ft("water-spatial", l_fraction=0.1)
+    for h in cluster.hosts:
+        log = h.ft.logs.diff
+        assert log.bytes_created > 0
+        if h.ft.stats.checkpoints_taken:
+            assert h.ft.stats.logs_saved_bytes > 0
+
+
+def test_llt_discards_logs():
+    cluster, res = run_ft("water-spatial", l_fraction=0.05, steps=5)
+    discarded = sum(h.ft.logs.diff.bytes_discarded for h in cluster.hosts)
+    created = sum(h.ft.logs.diff.bytes_created for h in cluster.hosts)
+    assert created > 0
+    assert discarded > 0, "LLT should discard once trimming info propagates"
+
+
+def test_llt_disabled_keeps_everything():
+    cfg = FtConfig(llt_enabled=False)
+    cluster, _ = run_ft("water-spatial", l_fraction=0.05, ft_config=cfg, steps=4)
+    assert all(h.ft.logs.diff.bytes_discarded == 0 for h in cluster.hosts)
+
+
+def test_cgc_bounds_checkpoint_window():
+    cluster, _ = run_ft("water-spatial", l_fraction=0.05, steps=5)
+    for h in cluster.hosts:
+        assert h.ckpt_mgr.max_window <= 4  # paper: at most 3 + our seed
+
+
+def test_cgc_disabled_window_grows():
+    cfg = FtConfig(cgc_enabled=False)
+    cluster, _ = run_ft("water-spatial", l_fraction=0.03, ft_config=cfg, steps=5)
+    windows = [h.ckpt_mgr.max_window for h in cluster.hosts]
+    cluster2, _ = run_ft("water-spatial", l_fraction=0.03, steps=5)
+    windows2 = [h.ckpt_mgr.max_window for h in cluster2.hosts]
+    assert max(windows) >= max(windows2)
+
+
+def test_rel_logs_bounded_by_rule2():
+    cluster, _ = run_ft("water-nsq", l_fraction=0.05, steps=4)
+    for h in cluster.hosts:
+        # bounds may have advanced since the last checkpoint-time trim;
+        # run LLT once more, then the Rule 2 invariant must hold exactly
+        h.ft.run_llt()
+        for j in range(cluster.config.num_procs):
+            bound = h.ft.trim.rel_bound(j)
+            for e in h.ft.logs.rel.for_acquirer(j):
+                assert e.acq_t[j] > bound or bound == 0
+
+
+def test_wn_log_trimming_respects_rule1():
+    cluster, _ = run_ft("water-spatial", l_fraction=0.05, steps=4)
+    for h in cluster.hosts:
+        keep_from = h.ft.trim.wn_keep_from()
+        own = h.proto.notices.own_after(h.pid, 0)
+        # trimming ran at checkpoints; anything older than the bound at
+        # that moment is gone, so the oldest retained own notice can be
+        # below the *current* bound but never below 1
+        assert all(n.interval >= 1 for n in own)
+
+
+def test_piggyback_traffic_accounted():
+    cluster, res = run_ft("water-spatial")
+    assert res.traffic.ft_bytes > 0
+    assert res.traffic.ft_overhead_percent() < 50
+
+
+def test_piggyback_disabled_no_ft_traffic_but_no_gc():
+    cfg = FtConfig(piggyback_enabled=False)
+    cluster, res = run_ft("water-spatial", ft_config=cfg, steps=3)
+    assert res.traffic.ft_bytes == 0
+    # without propagated Tckp, Tmin stays zero and CGC frees nothing
+    assert all(h.ckpt_mgr.pages_discarded_bytes == 0 for h in cluster.hosts)
+
+
+def test_disk_traffic_recorded():
+    cluster, res = run_ft("water-spatial", l_fraction=0.05)
+    total_disk = sum(b for b, _ in res.disk_stats)
+    assert total_disk > 0
+    for h in cluster.hosts:
+        if h.ft.stats.checkpoints_taken:
+            assert h.disk.write_time > 0
+
+
+def test_log_ckpt_time_bucket_populated():
+    from repro.sim.node import TimeBucket
+
+    cluster, res = run_ft("water-spatial", l_fraction=0.05)
+    lc = sum(ts.seconds[TimeBucket.LOG_CKPT] for ts in res.time_stats)
+    assert lc > 0
+
+
+def test_never_policy_takes_no_checkpoints():
+    cluster = DsmCluster(
+        DsmConfig(num_procs=4),
+        ft=True,
+        policy_factory=lambda pid, fp: NeverPolicy(),
+    )
+    res = cluster.run(make_app("counter"))
+    assert all(s.checkpoints_taken == 0 for s in res.ft_stats)
+
+
+def test_manual_checkpoint_api():
+    """proc.checkpoint() takes a checkpoint on demand (§5.4 API)."""
+    from repro.apps.base import DsmApp
+    from repro.core.policies import ManualPolicy
+
+    class App(DsmApp):
+        name = "manual"
+
+        def configure(self, cluster):
+            self.r = cluster.allocate("r", 64)
+
+        def init_state(self, pid):
+            return {}
+
+        def run(self, proc, state):
+            v = yield from proc.write_range(self.r, proc.pid, proc.pid + 1)
+            v[0] = 1.0
+            yield from proc.barrier()
+            yield from proc.checkpoint()
+            yield from proc.barrier()
+
+    cluster = DsmCluster(
+        DsmConfig(num_procs=4),
+        ft=True,
+        policy_factory=lambda pid, fp: ManualPolicy(),
+    )
+    res = cluster.run(App())
+    assert all(s.checkpoints_taken == 1 for s in res.ft_stats)
+
+
+def test_figure4_log_points_recorded():
+    cluster, res = run_ft("water-spatial", l_fraction=0.05, steps=5)
+    any_points = False
+    for s in res.ft_stats:
+        for ckpt_no, size in s.log_points:
+            assert ckpt_no >= 1 and size >= 0
+            any_points = True
+    assert any_points

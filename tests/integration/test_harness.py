@@ -1,0 +1,65 @@
+"""Smoke-scale tests of the experiment harness (tables and figures)."""
+
+import pytest
+
+from repro.harness.experiment import PAPER, paper_setups, run_base, run_ft
+from repro.harness.figures import figure3, figure3_table, figure4, figure4_render
+from repro.harness.tables import (
+    run_all_experiments,
+    table1,
+    table2,
+    table3,
+    table4,
+)
+
+
+@pytest.fixture(scope="module")
+def smoke_experiments():
+    return run_all_experiments(scale="smoke")
+
+
+def test_paper_values_cover_all_apps():
+    names = {s.name for s in paper_setups("smoke")}
+    assert names == set(PAPER)
+    with pytest.raises(ValueError):
+        paper_setups("giant")
+
+
+def test_tables_render_all_apps(smoke_experiments):
+    for fn in (table1, table2, table3, table4):
+        t = fn(smoke_experiments)
+        assert len(t.rows) == 3
+        text = t.render()
+        for name in ("barnes", "water-nsq", "water-spatial"):
+            assert name in text
+
+
+def test_table1_reports_footprints(smoke_experiments):
+    t = table1(smoke_experiments)
+    assert all("KB" in c or "MB" in c for c in t.column("Shared memory"))
+
+
+def test_figure3_structure(smoke_experiments):
+    data = figure3(smoke_experiments)
+    for bars in data.values():
+        assert set(bars) == {"base", "ft"}
+        assert abs(sum(bars["base"].values()) - 100.0) < 1e-6
+    text = figure3_table(smoke_experiments).render()
+    assert "TOTAL" in text
+
+
+def test_figure4_structure(smoke_experiments):
+    data = figure4(smoke_experiments)
+    for name, series in data.items():
+        assert set(series) == {"measured", "unbounded"}
+        ks = [k for k, _ in series["measured"]]
+        assert ks == sorted(ks)
+        assert len(series["unbounded"]) == len(series["measured"])
+    assert "Figure 4" in figure4_render(smoke_experiments)
+
+
+def test_run_base_and_ft_independent_calls():
+    setup = paper_setups("smoke")[1]  # water-nsq
+    base = run_base(setup, num_procs=4)
+    ft = run_ft(setup, num_procs=4)
+    assert ft.result.wall_time >= base.result.wall_time * 0.9

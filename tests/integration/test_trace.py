@@ -1,0 +1,59 @@
+"""Tests for the protocol tracer."""
+
+import pytest
+
+from repro.sim.trace import TraceEvent, Tracer
+
+from tests.conftest import make_app, make_cluster
+
+
+def test_tracer_records_protocol_events():
+    cluster = make_cluster(num_procs=4, ft=True, l_fraction=0.05)
+    tracer = Tracer(cluster)
+    cluster.run(make_app("counter"))
+    counts = tracer.counts()
+    assert counts.get("send", 0) > 0
+    assert counts.get("lock", 0) >= 4 * 3  # every proc acquires per step
+    assert counts.get("barrier", 0) > 0
+    assert counts.get("flush", 0) > 0
+    assert counts.get("fetch", 0) > 0
+    assert counts.get("ckpt", 0) > 0
+    # timestamps are nondecreasing
+    times = [e.time for e in tracer.events]
+    assert times == sorted(times)
+
+
+def test_tracer_kind_filtering():
+    cluster = make_cluster(num_procs=4)
+    tracer = Tracer(cluster, kinds={"lock"})
+    cluster.run(make_app("counter"))
+    assert tracer.counts().keys() <= {"lock"}
+    only_p0 = tracer.filter(pid=0)
+    assert all(e.pid == 0 for e in only_p0)
+
+
+def test_tracer_rejects_unknown_kind():
+    cluster = make_cluster(num_procs=2)
+    with pytest.raises(ValueError):
+        Tracer(cluster, kinds={"nope"})
+
+
+def test_tracer_records_failures():
+    cluster = make_cluster(num_procs=4, ft=True, l_fraction=0.2)
+    T = make_cluster(num_procs=4, ft=True, l_fraction=0.2).run(
+        make_app("counter")
+    ).wall_time
+    tracer = Tracer(cluster, kinds={"failure"})
+    cluster.schedule_crash(2, at_time=T * 0.4)
+    cluster.run(make_app("counter"))
+    assert len(tracer.filter(kind="failure")) == 1
+
+
+def test_tracer_render_and_cap():
+    cluster = make_cluster(num_procs=4)
+    tracer = Tracer(cluster, max_events=10)
+    cluster.run(make_app("counter"))
+    assert tracer.dropped > 0
+    text = tracer.render(limit=5)
+    assert "more events" in text or "dropped" in text
+    assert "p0" in text or "p1" in text

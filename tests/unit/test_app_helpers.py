@@ -1,0 +1,165 @@
+"""Unit + property tests for application helpers and numerics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.barnes import (
+    NODE_W,
+    Allocator,
+    BarnesConfig,
+    _Tree,
+    plummer_bodies,
+)
+from repro.apps.base import block_partition
+from repro.apps.lu import LuConfig, _factor_diag, _initial_matrix, reference_lu
+from repro.apps.water_spatial import WaterSpatialConfig, _cell_of, _neighbors
+
+
+# -- block_partition ------------------------------------------------------
+
+
+@given(st.integers(0, 200), st.integers(1, 16))
+def test_block_partition_covers_exactly(n_items, n_procs):
+    parts = [block_partition(n_items, n_procs, p) for p in range(n_procs)]
+    flat = [i for part in parts for i in part]
+    assert flat == list(range(n_items))
+
+
+@given(st.integers(0, 200), st.integers(1, 16))
+def test_block_partition_balanced(n_items, n_procs):
+    sizes = [len(block_partition(n_items, n_procs, p)) for p in range(n_procs)]
+    assert max(sizes) - min(sizes) <= 1
+
+
+# -- water-spatial cells -----------------------------------------------------
+
+
+def test_cell_of_in_range():
+    rng = np.random.default_rng(0)
+    pos = rng.uniform(0, 1, (100, 3))
+    cells = _cell_of(pos, 4)
+    assert ((cells >= 0) & (cells < 64)).all()
+
+
+def test_neighbors_contains_self_and_wraps():
+    nb = _neighbors(0, 4)
+    assert 0 in nb
+    assert len(nb) == 27  # distinct with wrap-around at c=4
+    # wrap: cell 0's neighbourhood includes the far corner
+    assert (3 * 16 + 3 * 4 + 3) in nb
+
+
+def test_neighbors_small_grid_dedupes():
+    nb = _neighbors(0, 2)
+    assert len(nb) == 8  # 2^3 cells total, all are neighbours
+
+
+# -- Barnes octree properties ------------------------------------------------
+
+
+def build_tree(cfg, pos, order):
+    nodes = np.zeros(cfg.nodes_cap() * NODE_W)
+    tree = _Tree(nodes, cfg)
+    lo, hi = pos.min(axis=0), pos.max(axis=0)
+    center = (lo + hi) / 2
+    half = float((hi - lo).max() / 2 * 1.01 + 1e-9)
+    counter = [0]
+
+    def take():
+        counter[0] += 1
+        return counter[0]
+
+    alloc = Allocator(pos)
+    alloc.take = take
+    root = take()
+    tree.init_internal(root, center[0], center[1], center[2], half)
+    for b in order:
+        tree.insert(root, b, pos[b], alloc)
+    tree.compute_com(root, pos)
+    return tree, root
+
+
+def leaf_depths(tree, root):
+    from repro.apps.barnes import F_BODY, F_CHILD0, F_TYPE
+
+    out = {}
+    stack = [(root, 1)]
+    while stack:
+        nd, d = stack.pop()
+        rec = tree.nodes[nd]
+        if rec[F_TYPE] == 1.0:
+            out[int(rec[F_BODY])] = d
+        elif rec[F_TYPE] == 2.0:
+            for o in range(8):
+                c = int(rec[F_CHILD0 + o])
+                if c >= 0:
+                    stack.append((c, d + 1))
+    return out
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, 1000))
+def test_octree_shape_is_insertion_order_independent(seed):
+    """The canonical-octree property the distributed build relies on."""
+    cfg = BarnesConfig(n_bodies=24, seed=seed % 7 + 1)
+    pos, _ = plummer_bodies(cfg)
+    rng = np.random.default_rng(seed)
+    order1 = list(range(cfg.n_bodies))
+    order2 = list(rng.permutation(cfg.n_bodies))
+    t1, r1 = build_tree(cfg, pos, order1)
+    t2, r2 = build_tree(cfg, pos, order2)
+    assert leaf_depths(t1, r1) == leaf_depths(t2, r2)
+
+
+def test_octree_mass_conserved():
+    cfg = BarnesConfig(n_bodies=32)
+    pos, _ = plummer_bodies(cfg)
+    tree, root = build_tree(cfg, pos, range(cfg.n_bodies))
+    from repro.apps.barnes import F_MASS
+
+    assert tree.nodes[root][F_MASS] == pytest.approx(cfg.n_bodies)
+
+
+def test_octree_force_far_field_matches_direct():
+    """With theta=0 the BH force equals the direct sum."""
+    cfg = BarnesConfig(n_bodies=16, theta=0.0)
+    pos, _ = plummer_bodies(cfg)
+    tree, root = build_tree(cfg, pos, range(cfg.n_bodies))
+    eps2 = cfg.softening**2
+    for b in (0, 7, 15):
+        acc, _ = tree.force_on(root, b, pos[b])
+        direct = np.zeros(3)
+        for j in range(cfg.n_bodies):
+            if j == b:
+                continue
+            d = pos[j] - pos[b]
+            r2 = d @ d + eps2
+            direct += d / (r2 * np.sqrt(r2))
+        np.testing.assert_allclose(acc, direct, rtol=1e-9)
+
+
+# -- LU helpers ---------------------------------------------------------------
+
+
+def test_factor_diag_is_lu():
+    rng = np.random.default_rng(1)
+    a = rng.uniform(-1, 1, (8, 8)) + 8 * np.eye(8)
+    orig = a.copy()
+    _factor_diag(a)
+    l = np.tril(a, -1) + np.eye(8)
+    u = np.triu(a)
+    np.testing.assert_allclose(l @ u, orig, rtol=1e-10)
+
+
+def test_lu_config_validation():
+    with pytest.raises(ValueError):
+        LuConfig(matrix_size=10, block_size=4).n_blocks
+
+
+def test_plummer_sorted_by_radius():
+    pos, vel = plummer_bodies(BarnesConfig(n_bodies=64))
+    r = np.einsum("ij,ij->i", pos, pos)
+    assert (np.diff(r) >= 0).all()
+    assert vel.shape == (64, 3)

@@ -1,0 +1,151 @@
+"""Unit tests for checkpointing and CGC (Rule 3.1)."""
+
+import pickle
+
+import pytest
+
+from repro.core.checkpoint import Checkpoint, CheckpointManager, PageCopy
+from repro.dsm.pages import PageId
+from repro.dsm.vclock import VClock
+from repro.sim.storage import CheckpointStore
+
+N = 4
+P0, P1 = PageId(0, 0), PageId(0, 1)
+
+
+def vt(*c):
+    return VClock(c)
+
+
+def mk_ckpt(pid, seqno, tckp):
+    return Checkpoint(
+        pid=pid,
+        seqno=seqno,
+        tckp=tckp,
+        app_state_blob=pickle.dumps({"step": seqno}),
+        own_notices=[],
+        diff_log={},
+        lock_tokens={},
+        acq_seq={},
+        barrier_episode=0,
+        last_barrier_global=VClock.zero(N),
+    )
+
+
+def mk_mgr():
+    mgr = CheckpointManager(0, N, CheckpointStore(0))
+    mgr.seed_initial_pages({P0: b"\x00" * 64, P1: b"\x00" * 64})
+    return mgr
+
+
+def test_seed_and_reseed_idempotent():
+    mgr = mk_mgr()
+    assert mgr.page_copies[P0][0].ckpt_seqno == 0
+    before = mgr.pages_retained_bytes
+    mgr.seed_initial_pages({P0: b"\xff" * 64})  # must not overwrite
+    assert mgr.pages_retained_bytes == before
+    assert mgr.page_copies[P0][0].data == b"\x00" * 64
+
+
+def test_commit_sequencing():
+    mgr = mk_mgr()
+    c1 = mk_ckpt(0, 1, vt(2, 0, 0, 0))
+    written = mgr.commit(c1, {P0: (b"\x01" * 64, vt(2, 0, 0, 0))})
+    assert written == 64
+    assert mgr.latest is c1
+    assert c1.homed_versions[P0] == vt(2, 0, 0, 0)
+    with pytest.raises(ValueError):
+        mgr.commit(mk_ckpt(0, 5, vt(3, 0, 0, 0)), {})
+
+
+def test_restore_app_state():
+    c = mk_ckpt(0, 1, vt(1, 0, 0, 0))
+    assert c.restore_app_state() == {"step": 1}
+
+
+def test_cgc_keeps_maximal_starting_copy():
+    mgr = mk_mgr()
+    for s, v in ((1, 2), (2, 5), (3, 9)):
+        mgr.commit(
+            mk_ckpt(0, s, vt(v, 0, 0, 0)),
+            {P0: (bytes([s]) * 64, vt(v, 0, 0, 0))},
+        )
+    # Tmin allows versions <= 5: copies 0 (v0) and seq1 (v2) below seq2
+    # (v5, the maximal starting copy) are dropped; seq2 and seq3 retained
+    freed = mgr.collect(vt(5, 9, 9, 9))
+    copies = mgr.page_copies[P0]
+    assert [c.ckpt_seqno for c in copies] == [2, 3]
+    assert freed == 128
+    # P1 was never checkpointed: its seed (checkpoint 0) must survive
+    assert mgr.retained_seqnos == [0, 2, 3]
+    assert [c.ckpt_seqno for c in mgr.page_copies[P1]] == [0]
+
+
+def test_cgc_never_collects_latest():
+    mgr = mk_mgr()
+    mgr.commit(mk_ckpt(0, 1, vt(1, 0, 0, 0)), {P0: (b"a" * 64, vt(1, 0, 0, 0))})
+    mgr.collect(vt(99, 99, 99, 99))
+    assert mgr.latest.seqno == 1
+    assert mgr.page_copies[P0][-1].ckpt_seqno == 1
+    assert 1 in mgr.checkpoints
+
+
+def test_cgc_with_zero_tmin_keeps_everything():
+    mgr = mk_mgr()
+    mgr.commit(mk_ckpt(0, 1, vt(3, 0, 0, 0)), {P0: (b"a" * 64, vt(3, 0, 0, 0))})
+    freed = mgr.collect(VClock.zero(N))
+    assert freed == 0
+    assert [c.ckpt_seqno for c in mgr.page_copies[P0]] == [0, 1]
+
+
+def test_window_tracking():
+    mgr = mk_mgr()
+    for s in range(1, 4):
+        mgr.commit(
+            mk_ckpt(0, s, vt(s, 0, 0, 0)),
+            {
+                P0: (b"x" * 64, vt(s, 0, 0, 0)),
+                P1: (b"y" * 64, vt(s, 0, 0, 0)),
+            },
+        )
+        mgr.collect(VClock.zero(N))  # no progress known: window grows
+    assert mgr.window_size == 4  # virtual 0 + 3 checkpoints
+    assert mgr.max_window == 4
+    mgr.collect(vt(3, 9, 9, 9))
+    assert mgr.window_size == 1
+    assert mgr.max_window == 4
+
+
+def test_maximal_starting_copy_respects_ceiling():
+    mgr = mk_mgr()
+    for s, v in ((1, 2), (2, 5)):
+        mgr.commit(
+            mk_ckpt(0, s, vt(v, 0, 0, 0)),
+            {P0: (bytes([s]) * 64, vt(v, 0, 0, 0))},
+        )
+    # a recovery whose replay ceiling is (3,...) must get the v2 copy,
+    # not the newer v5 copy
+    copy = mgr.maximal_starting_copy(P0, vt(3, 9, 9, 9))
+    assert copy.version == vt(2, 0, 0, 0)
+    copy = mgr.maximal_starting_copy(P0, vt(9, 9, 9, 9))
+    assert copy.version == vt(5, 0, 0, 0)
+
+
+def test_maximal_starting_copy_errors():
+    mgr = mk_mgr()
+    with pytest.raises(KeyError):
+        mgr.maximal_starting_copy(PageId(5, 5), vt(0, 0, 0, 0))
+
+
+def test_old_checkpoint_records_pruned_with_their_copies():
+    mgr = mk_mgr()
+    store = mgr.store
+    for s, v in ((1, 1), (2, 2), (3, 3)):
+        mgr.commit(
+            mk_ckpt(0, s, vt(v, 0, 0, 0)), {P0: (b"x" * 64, vt(v, 0, 0, 0))}
+        )
+    assert ("ckpt", 1) in store
+    mgr.collect(vt(3, 9, 9, 9))
+    assert ("ckpt", 1) not in store
+    assert ("ckpt", 3) in store
+    assert 1 not in mgr.checkpoints

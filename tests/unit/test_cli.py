@@ -1,0 +1,44 @@
+"""Smoke tests for the ``python -m repro`` command line."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+def test_base_run(capsys):
+    assert main(["counter", "--procs", "4", "--steps", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "virtual time" in out
+    assert "counter on 4 simulated nodes" in out
+
+
+def test_ft_run_with_crash(capsys):
+    assert main(["counter", "--ft", "--crash", "3@0.4", "--procs", "8"]) == 0
+    out = capsys.readouterr().out
+    assert "checkpoints" in out
+    assert "1 crash(es), 1 recover(ies)" in out
+
+
+def test_crash_requires_ft(capsys):
+    assert main(["counter", "--crash", "3@0.4"]) == 2
+
+
+def test_coordinated_flag(capsys):
+    assert main(["counter", "--ft", "--coordinated", "--l", "0.05"]) == 0
+    assert "checkpoints" in capsys.readouterr().out
+
+
+def test_wan_flag(capsys):
+    assert main(["counter", "--wan", "0.001", "--steps", "2"]) == 0
+
+
+def test_trace_flag(capsys):
+    assert main(["counter", "--ft", "--trace", "lock", "--trace-limit", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "trace:" in out
+    assert "acquired L0" in out
+
+
+def test_parser_rejects_unknown_app():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["not-an-app"])

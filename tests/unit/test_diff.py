@@ -1,0 +1,142 @@
+"""Unit + property tests for the diff engine."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dsm.diff import RUN_HEADER_BYTES, Diff, apply_diff, compute_diff, merge_runs
+
+PAGE = 256
+
+
+def page(vals=0):
+    return np.full(PAGE, vals, dtype=np.uint8)
+
+
+def test_identical_pages_empty_diff():
+    d = compute_diff(page(3), page(3))
+    assert d.empty
+    assert d.size_bytes == 0
+    assert d.payload_bytes == 0
+
+
+def test_single_byte_change():
+    twin, cur = page(), page()
+    cur[10] = 7
+    d = compute_diff(twin, cur)
+    assert d.runs == ((10, b"\x07"),)
+    assert d.payload_bytes == 1
+    assert d.size_bytes == 1 + RUN_HEADER_BYTES
+
+
+def test_runs_are_maximal_and_sorted():
+    twin, cur = page(), page()
+    cur[5:8] = 1
+    cur[20:22] = 2
+    cur[0] = 3
+    d = compute_diff(twin, cur)
+    offsets = [o for o, _ in d.runs]
+    assert offsets == sorted(offsets) == [0, 5, 20]
+    assert [len(b) for _, b in d.runs] == [1, 3, 2]
+
+
+def test_edge_runs():
+    twin, cur = page(), page()
+    cur[0] = 1
+    cur[-1] = 2
+    d = compute_diff(twin, cur)
+    assert d.runs[0][0] == 0
+    assert d.runs[-1][0] == PAGE - 1
+
+
+def test_whole_page_changed():
+    d = compute_diff(page(0), page(255))
+    assert len(d.runs) == 1
+    assert d.payload_bytes == PAGE
+
+
+def test_apply_roundtrip_simple():
+    twin, cur = page(), page()
+    cur[33:40] = 9
+    d = compute_diff(twin, cur)
+    target = twin.copy()
+    apply_diff(target, d)
+    assert np.array_equal(target, cur)
+
+
+def test_apply_out_of_bounds_rejected():
+    d = Diff(((250, b"\x01" * 10),))
+    with pytest.raises(ValueError):
+        apply_diff(page(), d)
+
+
+def test_shape_and_dtype_validation():
+    with pytest.raises(ValueError):
+        compute_diff(np.zeros(10, np.uint8), np.zeros(11, np.uint8))
+    with pytest.raises(TypeError):
+        compute_diff(np.zeros(8, np.float64), np.zeros(8, np.float64))
+
+
+def test_merge_runs():
+    d1 = Diff(((0, b"ab"), (10, b"c")))
+    d2 = Diff(((1, b"xy"), (20, b"z")))
+    assert merge_runs([d1, d2]) == [(0, 3), (10, 11), (20, 21)]
+
+
+# -- properties ---------------------------------------------------------
+
+bytes_pages = st.binary(min_size=PAGE, max_size=PAGE).map(
+    lambda b: np.frombuffer(b, dtype=np.uint8).copy()
+)
+
+
+@given(bytes_pages, bytes_pages)
+@settings(max_examples=200)
+def test_diff_apply_roundtrip(twin, cur):
+    d = compute_diff(twin, cur)
+    out = twin.copy()
+    apply_diff(out, d)
+    assert np.array_equal(out, cur)
+
+
+@given(bytes_pages, bytes_pages)
+def test_diff_minimality(twin, cur):
+    """Every byte in the diff actually differs at run boundaries."""
+    d = compute_diff(twin, cur)
+    for off, data in d.runs:
+        assert twin[off] != data[0]
+        assert twin[off + len(data) - 1] != data[-1]
+    # bytes between runs are equal
+    covered = np.zeros(PAGE, dtype=bool)
+    for off, data in d.runs:
+        covered[off : off + len(data)] = True
+    assert np.array_equal(twin[~covered], cur[~covered])
+
+
+@given(bytes_pages, bytes_pages, bytes_pages)
+@settings(max_examples=100)
+def test_concurrent_disjoint_diffs_commute(base, a, b):
+    """Diffs writing disjoint byte ranges apply in any order to the same
+    result — the property multi-writer HLRC relies on."""
+    # construct disjoint writes from a and b onto base
+    cur_a = base.copy()
+    cur_a[: PAGE // 2] = a[: PAGE // 2]
+    cur_b = base.copy()
+    cur_b[PAGE // 2 :] = b[PAGE // 2 :]
+    da = compute_diff(base, cur_a)
+    db = compute_diff(base, cur_b)
+    out1 = base.copy()
+    apply_diff(out1, da)
+    apply_diff(out1, db)
+    out2 = base.copy()
+    apply_diff(out2, db)
+    apply_diff(out2, da)
+    assert np.array_equal(out1, out2)
+
+
+@given(bytes_pages, bytes_pages)
+def test_size_model_consistent(twin, cur):
+    d = compute_diff(twin, cur)
+    assert d.size_bytes == d.payload_bytes + RUN_HEADER_BYTES * len(d.runs)
+    assert d.payload_bytes == sum(len(b) for _, b in d.runs)

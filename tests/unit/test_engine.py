@@ -1,0 +1,265 @@
+"""Unit tests for the discrete-event engine and coroutine trampoline."""
+
+import pytest
+
+from repro.sim.engine import (
+    Delay,
+    Engine,
+    Future,
+    SimProcessKilled,
+    SimulationError,
+    gather,
+    sleep,
+)
+
+
+def test_schedule_runs_in_time_order():
+    eng = Engine()
+    out = []
+    eng.schedule(2.0, lambda: out.append("b"))
+    eng.schedule(1.0, lambda: out.append("a"))
+    eng.schedule(3.0, lambda: out.append("c"))
+    eng.run()
+    assert out == ["a", "b", "c"]
+    assert eng.now == 3.0
+
+
+def test_equal_times_fire_in_scheduling_order():
+    eng = Engine()
+    out = []
+    for i in range(5):
+        eng.schedule(1.0, lambda i=i: out.append(i))
+    eng.run()
+    assert out == [0, 1, 2, 3, 4]
+
+
+def test_negative_delay_rejected():
+    eng = Engine()
+    with pytest.raises(ValueError):
+        eng.schedule(-1.0, lambda: None)
+    with pytest.raises(ValueError):
+        Delay(-0.5)
+
+
+def test_run_until_stops_at_deadline():
+    eng = Engine()
+    fired = []
+    eng.schedule(1.0, lambda: fired.append(1))
+    eng.schedule(5.0, lambda: fired.append(2))
+    eng.run(until=2.0)
+    assert fired == [1]
+    assert eng.now == 2.0
+
+
+def test_coroutine_delay_advances_clock():
+    eng = Engine()
+    times = []
+
+    def proc():
+        times.append(eng.now)
+        yield Delay(1.5)
+        times.append(eng.now)
+        yield Delay(0.5)
+        times.append(eng.now)
+
+    eng.spawn(proc())
+    eng.run()
+    assert times == [0.0, 1.5, 2.0]
+
+
+def test_future_resolution_resumes_with_value():
+    eng = Engine()
+    fut = Future("t")
+    got = []
+
+    def waiter():
+        v = yield fut
+        got.append(v)
+
+    eng.spawn(waiter())
+    eng.schedule(2.0, lambda: fut.resolve(42))
+    eng.run()
+    assert got == [42]
+    assert eng.now == 2.0
+
+
+def test_future_multiple_waiters_all_resume():
+    eng = Engine()
+    fut = Future()
+    got = []
+
+    def waiter(i):
+        v = yield fut
+        got.append((i, v))
+
+    for i in range(3):
+        eng.spawn(waiter(i))
+    eng.schedule(1.0, lambda: fut.resolve("x"))
+    eng.run()
+    assert sorted(got) == [(0, "x"), (1, "x"), (2, "x")]
+
+
+def test_future_double_resolve_raises():
+    fut = Future()
+    fut.resolve(1)
+    with pytest.raises(SimulationError):
+        fut.resolve(2)
+
+
+def test_future_value_before_resolution_raises():
+    fut = Future()
+    with pytest.raises(SimulationError):
+        _ = fut.value
+
+
+def test_resolved_future_yields_immediately():
+    eng = Engine()
+    fut = Future()
+    fut.resolve(7)
+    got = []
+
+    def proc():
+        v = yield fut
+        got.append((eng.now, v))
+
+    eng.spawn(proc())
+    eng.run()
+    assert got == [(0.0, 7)]
+
+
+def test_yield_from_composition():
+    eng = Engine()
+    order = []
+
+    def inner():
+        yield Delay(1.0)
+        order.append("inner")
+        return 99
+
+    def outer():
+        v = yield from inner()
+        order.append(("outer", v, eng.now))
+
+    eng.spawn(outer())
+    eng.run()
+    assert order == ["inner", ("outer", 99, 1.0)]
+
+
+def test_kill_stops_process():
+    eng = Engine()
+    progressed = []
+
+    def proc():
+        try:
+            while True:
+                yield Delay(1.0)
+                progressed.append(eng.now)
+        except SimProcessKilled:
+            raise
+
+    handle = eng.spawn(proc())
+    eng.schedule(2.5, handle.kill)
+    eng.run()
+    assert progressed == [1.0, 2.0]
+    assert not handle.alive
+    assert not handle.done
+
+
+def test_killed_process_never_resumes_from_pending_future():
+    eng = Engine()
+    fut = Future()
+    resumed = []
+
+    def proc():
+        v = yield fut
+        resumed.append(v)
+
+    handle = eng.spawn(proc())
+    eng.schedule(1.0, handle.kill)
+    eng.schedule(2.0, lambda: fut.resolve("late"))
+    eng.run()
+    assert resumed == []
+
+
+def test_process_result_captured():
+    eng = Engine()
+
+    def proc():
+        yield Delay(1.0)
+        return "done"
+
+    handle = eng.spawn(proc())
+    eng.run()
+    assert handle.done
+    assert handle.result == "done"
+
+
+def test_unsupported_effect_raises():
+    eng = Engine()
+
+    def proc():
+        yield "not-an-effect"
+
+    eng.spawn(proc())
+    with pytest.raises(SimulationError, match="unsupported effect"):
+        eng.run()
+
+
+def test_run_until_done_detects_deadlock():
+    eng = Engine()
+
+    def proc():
+        yield Future("never")
+
+    handle = eng.spawn(proc())
+    with pytest.raises(SimulationError, match="deadlock"):
+        eng.run_until_done([handle])
+
+
+def test_sleep_helper():
+    eng = Engine()
+    t = []
+
+    def proc():
+        yield from sleep(3.0)
+        t.append(eng.now)
+
+    eng.spawn(proc())
+    eng.run()
+    assert t == [3.0]
+
+
+def test_gather_resolves_when_all_do():
+    eng = Engine()
+    futs = [Future(str(i)) for i in range(3)]
+    out = gather(eng, futs)
+    futs[1].resolve("b")
+    assert not out.resolved
+    futs[0].resolve("a")
+    futs[2].resolve("c")
+    assert out.resolved
+    assert out.value == ["a", "b", "c"]
+
+
+def test_gather_empty_resolves_immediately():
+    eng = Engine()
+    out = gather(eng, [])
+    assert out.resolved and out.value == []
+
+
+def test_determinism_same_schedule_same_trace():
+    def build():
+        eng = Engine()
+        trace = []
+
+        def proc(name, delay):
+            for _ in range(3):
+                yield Delay(delay)
+                trace.append((name, eng.now))
+
+        eng.spawn(proc("a", 1.0))
+        eng.spawn(proc("b", 0.7))
+        eng.run()
+        return trace
+
+    assert build() == build()

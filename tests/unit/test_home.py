@@ -1,0 +1,52 @@
+"""Unit tests for home-side page state."""
+
+from repro.dsm.home import HomeDirectory, HomePage
+from repro.dsm.pages import PageId
+from repro.dsm.vclock import VClock
+
+N = 4
+P = PageId(0, 0)
+
+
+def test_advance_and_duplicate_detection():
+    hp = HomePage(P, N)
+    assert hp.version == VClock.zero(N)
+    hp.advance(1, 3)
+    assert hp.version == VClock((0, 3, 0, 0))
+    assert hp.is_duplicate(1, 3)
+    assert hp.is_duplicate(1, 2)
+    assert not hp.is_duplicate(1, 4)
+    hp.advance(1, 2)  # stale advance ignored
+    assert hp.version[1] == 3
+
+
+def test_ready_for():
+    hp = HomePage(P, N)
+    hp.advance(0, 2)
+    assert hp.ready_for(None)
+    assert hp.ready_for(VClock((2, 0, 0, 0)))
+    assert not hp.ready_for(VClock((3, 0, 0, 0)))
+
+
+def test_pending_fetches_served_in_version_order():
+    hp = HomePage(P, N)
+    served = []
+    hp.wait_fetch(1, VClock((2, 0, 0, 0)), lambda: served.append("a"))
+    hp.wait_fetch(2, VClock((5, 0, 0, 0)), lambda: served.append("b"))
+    hp.advance(0, 2)
+    hp.service_pending()
+    assert served == ["a"]
+    hp.advance(0, 5)
+    hp.service_pending()
+    assert served == ["a", "b"]
+    assert hp.pending == []
+
+
+def test_directory():
+    d = HomeDirectory(N)
+    hp = d.add_page(P)
+    assert P in d
+    assert d[P] is hp
+    assert d.pages() == [P]
+    assert d.values() == [hp]
+    assert PageId(0, 1) not in d

@@ -1,0 +1,140 @@
+"""Unit tests for lock state tables and manager chains."""
+
+import pytest
+
+from repro.dsm.locks import ChainEntry, LockManagerState, LockTable
+from repro.dsm.vclock import VClock
+
+N = 4
+
+
+def test_manager_initially_holds_token():
+    t = LockTable(pid=2, num_procs=N)
+    st = t.token(2)  # lock 2 managed by pid 2
+    assert st.has_token
+    assert st.rel_vt == VClock.zero(N)
+    st2 = t.token(1)  # managed by pid 1
+    assert not st2.has_token
+
+
+def test_manager_access_control():
+    t = LockTable(pid=0, num_procs=N)
+    assert t.manages(0) and t.manages(4)
+    assert not t.manages(1)
+    with pytest.raises(RuntimeError):
+        t.manager(1)
+
+
+def test_chain_append_and_forward_target():
+    m = LockManagerState(manager=0)
+    assert m.last_requester == 0
+    prev = m.append(2, 1)
+    assert prev == 0
+    prev = m.append(3, 1)
+    assert prev == 2
+    assert m.last_requester == 3
+
+
+def test_duplicate_detection():
+    m = LockManagerState(manager=0)
+    m.append(2, 1)
+    assert m.is_duplicate(2, 1)
+    assert m.is_duplicate(2, 0)
+    assert not m.is_duplicate(2, 2)
+    assert not m.is_duplicate(3, 1)
+
+
+def test_grant_observed_advances_owner():
+    m = LockManagerState(manager=0)
+    m.append(2, 1)
+    m.append(3, 1)
+    assert m.owner() == 0
+    m.grant_observed(2)
+    assert m.owner() == 2
+    m.grant_observed(3)
+    assert m.owner() == 3
+    # stale/self grants are ignored
+    m.grant_observed(2)
+    assert m.owner() == 3
+
+
+def test_waiter_after():
+    m = LockManagerState(manager=0)
+    m.append(2, 1)
+    m.append(3, 1)
+    assert m.waiter_after(0).acquirer == 2
+    assert m.waiter_after(2).acquirer == 3
+    assert m.waiter_after(3) is None
+    assert m.waiter_after(9) is None
+
+
+def test_in_chain_at_or_after_owner():
+    m = LockManagerState(manager=0)
+    m.append(2, 1)
+    m.append(3, 1)
+    m.grant_observed(2)
+    assert not m.in_chain_at_or_after_owner(0)
+    assert m.in_chain_at_or_after_owner(2)
+    assert m.in_chain_at_or_after_owner(3)
+
+
+def test_chain_pruning_bounds_memory():
+    m = LockManagerState(manager=0)
+    for k in range(50):
+        m.append(k % 3 + 1, k + 1)
+        m.grant_observed(k % 3 + 1)
+    assert len(m.chain) < 20
+
+
+def test_self_grant_log_and_trim():
+    m = LockManagerState(manager=0)
+    for i in (1, 3, 5):
+        m.log_self_grant(2, VClock((0, 0, i, 0)))
+    dropped = m.trim_self_grants(2, 3)
+    assert dropped == 2
+    assert [t[2] for t in m.self_grants[2]] == [5]
+    assert m.trim_self_grants(1, 10) == 0
+
+
+def test_chain_snapshot():
+    t = LockTable(pid=1, num_procs=N)
+    st = t.token(1)
+    st.held = True
+    st.successor = (3, VClock.zero(N), 7)
+    snap = t.chain_snapshot()
+    assert snap[1] == (True, True, 3, 7)
+
+
+def test_restore_chain_simple_walk():
+    t = LockTable(pid=0, num_procs=N)
+    t.manager(0)
+    t.restore_chain(0, holder=2, edges={2: (3, 1), 3: (1, 1)})
+    m = t.manager(0)
+    assert [e.acquirer for e in m.chain] == [2, 3, 1]
+    assert m.owner() == 2
+
+
+def test_restore_chain_headless_segment_reattached():
+    """A crashed holder loses its successor pointer; the orphan path is
+    re-attached after the holder."""
+    t = LockTable(pid=0, num_procs=N)
+    t.manager(0)
+    # holder 0 (us), lost edge 0->2; live edges 2->3->1
+    t.restore_chain(0, holder=0, edges={2: (3, 1), 3: (1, 1)})
+    m = t.manager(0)
+    assert [e.acquirer for e in m.chain] == [0, 2, 3, 1]
+
+
+def test_restore_chain_cycle_guard():
+    t = LockTable(pid=0, num_procs=N)
+    t.manager(0)
+    t.restore_chain(0, holder=1, edges={1: (2, 1), 2: (1, 2)})
+    m = t.manager(0)
+    assert [e.acquirer for e in m.chain] == [1, 2]
+
+
+def test_granted_seq_tracking():
+    t = LockTable(pid=0, num_procs=N)
+    st = t.token(0)
+    st.granted[3] = 2
+    assert st.granted.get(3) == 2

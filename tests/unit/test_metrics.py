@@ -1,0 +1,60 @@
+"""Unit tests for report formatting."""
+
+import pytest
+
+from repro.metrics.report import Table, ascii_series, format_bytes, format_pct
+
+
+def test_format_bytes():
+    assert format_bytes(5) == "5 B"
+    assert format_bytes(2048) == "2.0 KB"
+    assert format_bytes(3_500_000) == "3.50 MB"
+
+
+def test_format_pct():
+    assert format_pct(42.3) == "42 %"
+    assert format_pct(3.14) == "3.1 %"
+    assert format_pct(0.123) == "0.12 %"
+
+
+def test_table_render_and_access():
+    t = Table("T", ["a", "bb"], note="n")
+    t.add(1, "x")
+    t.add(22, "yyyy")
+    out = t.render()
+    assert out.splitlines()[0] == "T"
+    assert "a " in out and "bb" in out
+    assert "yyyy" in out and out.endswith("n")
+    assert t.cell(0, "a") == 1
+    assert t.column("bb") == ["x", "yyyy"]
+
+
+def test_table_wrong_arity_rejected():
+    t = Table("T", ["a", "b"])
+    with pytest.raises(ValueError):
+        t.add(1)
+
+
+def test_table_empty_renders():
+    t = Table("Empty", ["col"])
+    assert "Empty" in t.render()
+
+
+def test_ascii_series_renders_marks():
+    out = ascii_series(
+        "S",
+        {"one": [(0, 0.0), (1, 1.0)], "two": [(0, 1.0), (1, 0.0)]},
+        width=20,
+        height=5,
+    )
+    assert "o = one" in out and "x = two" in out
+    assert "o" in out.splitlines()[3]
+
+
+def test_ascii_series_empty():
+    assert "(no data)" in ascii_series("S", {})
+
+
+def test_ascii_series_constant_series():
+    out = ascii_series("S", {"flat": [(0, 5.0), (1, 5.0)]})
+    assert "flat" in out

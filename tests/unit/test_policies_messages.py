@@ -1,0 +1,145 @@
+"""Unit tests for checkpointing policies and message size models."""
+
+import pytest
+
+from repro.core.policies import (
+    BarrierCoordinatedPolicy,
+    IntervalPolicy,
+    LogOverflowPolicy,
+    ManualPolicy,
+    NeverPolicy,
+)
+from repro.dsm.config import DsmConfig
+from repro.dsm.diff import Diff
+from repro.dsm.messages import (
+    BarrierArrive,
+    DiffMsg,
+    GrantInfo,
+    LockAcquireReq,
+    LockGrant,
+    PageFetchReply,
+    PageFetchReq,
+    Piggyback,
+    WriteNotice,
+)
+from repro.dsm.pages import PageId
+from repro.dsm.vclock import VClock
+
+
+class FakeFt:
+    """Just enough of FtManager for policy unit tests."""
+
+    class _Diff:
+        volatile_bytes = 0
+        unsaved_bytes = 0
+
+    class _Logs:
+        def __init__(self):
+            self.diff = FakeFt._Diff()
+
+    class _Proc:
+        pid = 0
+        vt = VClock((0, 0))
+        barrier_episode = 0
+
+    def __init__(self):
+        self.logs = self._Logs()
+        self.proc = self._Proc()
+
+
+def test_log_overflow_threshold():
+    ft = FakeFt()
+    pol = LogOverflowPolicy(0.1, footprint_bytes=1000)
+    ft.logs.diff.unsaved_bytes = 99
+    assert not pol.should_checkpoint(ft, False)
+    ft.logs.diff.unsaved_bytes = 100
+    assert pol.should_checkpoint(ft, False)
+    assert pol.describe() == "OF L = 0.1"
+
+
+def test_log_overflow_validation():
+    with pytest.raises(ValueError):
+        LogOverflowPolicy(0, 100)
+    with pytest.raises(ValueError):
+        LogOverflowPolicy(0.1, 0)
+
+
+def test_interval_policy():
+    ft = FakeFt()
+    pol = IntervalPolicy(3)
+    ft.proc.vt = VClock((2, 0))
+    assert not pol.should_checkpoint(ft, False)
+    ft.proc.vt = VClock((3, 0))
+    assert pol.should_checkpoint(ft, False)
+    # resets its base
+    ft.proc.vt = VClock((4, 0))
+    assert not pol.should_checkpoint(ft, False)
+
+
+def test_barrier_coordinated_policy():
+    ft = FakeFt()
+    pol = BarrierCoordinatedPolicy(every_barriers=2)
+    ft.proc.barrier_episode = 2
+    assert not pol.should_checkpoint(ft, at_barrier=False)
+    assert pol.should_checkpoint(ft, at_barrier=True)
+    ft.proc.barrier_episode = 3
+    assert not pol.should_checkpoint(ft, at_barrier=True)
+    ft.proc.barrier_episode = 0
+    assert not pol.should_checkpoint(ft, at_barrier=True)
+
+
+def test_manual_and_never():
+    ft = FakeFt()
+    assert not ManualPolicy().should_checkpoint(ft, True)
+    assert not NeverPolicy().should_checkpoint(ft, True)
+
+
+# -- message sizes --------------------------------------------------------
+
+
+CFG = DsmConfig(num_procs=4)
+VT = VClock((1, 2, 3, 4))
+P = PageId(0, 0)
+
+
+def test_piggyback_size():
+    assert Piggyback().size_bytes(CFG) == 0
+    assert Piggyback(tckps=((0, VT, 1),)).size_bytes(CFG) == CFG.vt_bytes() + 6
+    pb = Piggyback(
+        tckps=((0, VT, 1), (2, VT, 0)),
+        page_versions=((P, 3), (PageId(0, 1), 5)),
+    )
+    assert pb.size_bytes(CFG) == 2 * (CFG.vt_bytes() + 6) + 24
+
+
+def test_message_sizes_include_header_and_piggyback():
+    req = LockAcquireReq(lock_id=1, acquirer=2, acq_vt=VT, seq=1)
+    base = req.size_bytes(CFG)
+    assert base == CFG.msg_header + 12 + CFG.vt_bytes()
+    req.piggyback = Piggyback(tckps=((0, VT, 1),))
+    assert req.size_bytes(CFG) == base + CFG.vt_bytes() + 6
+    assert req.ft_bytes(CFG) == CFG.vt_bytes() + 6
+
+
+def test_grant_size_scales_with_notices():
+    wn = WriteNotice(0, 1, P, VT)
+    g0 = LockGrant(lock_id=0, grantor=0, rel_vt=VT, notices=[])
+    g2 = LockGrant(lock_id=0, grantor=0, rel_vt=VT, notices=[wn, wn])
+    assert g2.size_bytes(CFG) > g0.size_bytes(CFG)
+
+
+def test_diff_msg_size_includes_diff():
+    d = Diff(((0, b"\x01" * 10),))
+    m = DiffMsg(page=P, writer=0, diff=d, diff_vt=VT)
+    assert m.size_bytes(CFG) == CFG.msg_header + 8 + CFG.vt_bytes() + d.size_bytes
+
+
+def test_fetch_reply_size_includes_page():
+    m = PageFetchReply(page=P, data=b"\x00" * 1024, version=VT)
+    assert m.size_bytes(CFG) >= 1024
+
+
+def test_grant_info_self_variant_bigger():
+    plain = GrantInfo(lock_id=0, grantor=0, grantee=1)
+    selfg = GrantInfo(lock_id=0, grantor=0, grantee=0, acq_t=VT)
+    assert selfg.size_bytes(CFG) == plain.size_bytes(CFG) + CFG.vt_bytes()

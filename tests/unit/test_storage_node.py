@@ -1,0 +1,124 @@
+"""Unit tests for the disk/stable-storage and CPU-accounting models."""
+
+import pytest
+
+from repro.sim.engine import Delay, Engine
+from repro.sim.node import CpuCosts, CpuModel, TimeBucket, TimeStats
+from repro.sim.storage import CheckpointStore, Disk, DiskConfig
+
+
+# -- disk ----------------------------------------------------------------
+
+
+def test_write_cost_model():
+    d = Disk(DiskConfig(seek_time=10e-3, write_bandwidth=10e6))
+    assert d.write_cost(0) == 0.0
+    assert d.write_cost(10_000_000) == pytest.approx(10e-3 + 1.0)
+
+
+def test_disk_write_coroutine_accounts():
+    eng = Engine()
+    d = Disk(DiskConfig(seek_time=1e-3, write_bandwidth=1e6))
+
+    def proc():
+        yield from d.write(1000)
+
+    eng.spawn(proc())
+    eng.run()
+    assert eng.now == pytest.approx(1e-3 + 1e-3)
+    assert d.bytes_written == 1000
+    assert d.write_time == pytest.approx(2e-3)
+
+
+def test_disk_read():
+    eng = Engine()
+    d = Disk(DiskConfig(seek_time=1e-3, read_bandwidth=1e6))
+
+    def proc():
+        yield from d.read(2000)
+
+    eng.spawn(proc())
+    eng.run()
+    assert d.bytes_read == 2000
+    assert eng.now == pytest.approx(3e-3)
+
+
+# -- checkpoint store ------------------------------------------------------
+
+
+def test_store_put_get_delete():
+    s = CheckpointStore(0)
+    s.put(("ckpt", 1), {"x": 1}, size=100)
+    s.put(("log", 2), "data", size=50)
+    assert ("ckpt", 1) in s
+    assert s.get(("ckpt", 1)) == {"x": 1}
+    assert s.used_bytes == 150
+    assert s.size_of(("log", 2)) == 50
+    assert s.delete(("log", 2)) == 50
+    assert s.used_bytes == 100
+    assert ("log", 2) not in s
+
+
+def test_store_negative_size_rejected():
+    s = CheckpointStore(0)
+    with pytest.raises(ValueError):
+        s.put("k", "v", size=-1)
+
+
+# -- time accounting ---------------------------------------------------------
+
+
+def test_time_stats_buckets():
+    ts = TimeStats()
+    ts.add(TimeBucket.COMPUTE, 2.0)
+    ts.add(TimeBucket.LOCK_WAIT, 1.0)
+    assert ts.total == 3.0
+    assert ts.fraction(TimeBucket.COMPUTE) == pytest.approx(2 / 3)
+    with pytest.raises(ValueError):
+        ts.add(TimeBucket.COMPUTE, -1.0)
+
+
+def test_time_stats_merge_and_dict():
+    a, b = TimeStats(), TimeStats()
+    a.add(TimeBucket.COMPUTE, 1.0)
+    b.add(TimeBucket.COMPUTE, 2.0)
+    b.add(TimeBucket.OVERHEAD, 1.0)
+    m = a.merged(b)
+    assert m.seconds[TimeBucket.COMPUTE] == 3.0
+    assert m.as_dict()["overhead"] == 1.0
+
+
+def test_cpu_handler_debt_drains_to_overhead():
+    eng = Engine()
+    cpu = CpuModel()
+    cpu.accrue_handler(5e-6)
+    cpu.accrue_handler(3e-6)
+
+    def proc():
+        yield from cpu.drain_debt()
+
+    eng.spawn(proc())
+    eng.run()
+    assert eng.now == pytest.approx(8e-6)
+    assert cpu.stats.seconds[TimeBucket.OVERHEAD] == pytest.approx(8e-6)
+    assert cpu.handler_debt == 0.0
+
+
+def test_cpu_charge_advances_time():
+    eng = Engine()
+    cpu = CpuModel()
+
+    def proc():
+        yield from cpu.charge(TimeBucket.COMPUTE, 1e-3)
+        yield from cpu.charge(TimeBucket.LOG_CKPT, 0.0)  # zero charge ok
+
+    eng.spawn(proc())
+    eng.run()
+    assert eng.now == pytest.approx(1e-3)
+    assert cpu.stats.seconds[TimeBucket.COMPUTE] == pytest.approx(1e-3)
+
+
+def test_negative_costs_rejected():
+    cpu = CpuModel()
+    with pytest.raises(ValueError):
+        cpu.accrue_handler(-1.0)

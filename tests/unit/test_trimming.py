@@ -1,0 +1,97 @@
+"""Unit + property tests for the trimming bounds (LLT/CGC inputs)."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.trimming import TrimmingInfo
+from repro.dsm.pages import PageId
+from repro.dsm.vclock import VClock
+
+N = 4
+
+
+def vt(*c):
+    return VClock(c)
+
+
+def test_initial_bounds_are_conservative():
+    t = TrimmingInfo(0, N)
+    assert t.tmin() == VClock.zero(N)
+    assert t.wn_keep_from() == 1
+    assert t.rel_bound(1) == 0
+    assert t.acq_bound() == 0
+    assert t.diff_bound(PageId(0, 0)) == 0
+    assert t.bar_keep_from() == 0
+
+
+def test_learn_tckp_monotone():
+    t = TrimmingInfo(0, N)
+    t.learn_tckp(1, vt(1, 5, 0, 0), bar_ep=2)
+    t.learn_tckp(1, vt(0, 3, 1, 0), bar_ep=1)  # stale: join, not replace
+    assert t.tckp[1] == vt(1, 5, 1, 0)
+    assert t.bar_ep[1] == 2
+
+
+def test_tmin_excludes_self():
+    t = TrimmingInfo(0, N)
+    t.learn_tckp(0, vt(99, 99, 99, 99))
+    t.learn_tckp(1, vt(1, 2, 3, 4))
+    t.learn_tckp(2, vt(4, 3, 2, 1))
+    t.learn_tckp(3, vt(2, 2, 2, 2))
+    assert t.tmin() == vt(1, 2, 2, 1)
+
+
+def test_wn_keep_from_uses_min_peer_component():
+    t = TrimmingInfo(2, N)
+    t.learn_tckp(0, vt(0, 0, 5, 0))
+    t.learn_tckp(1, vt(0, 0, 3, 0))
+    t.learn_tckp(3, vt(0, 0, 7, 0))
+    assert t.wn_keep_from() == 4  # min(5,3,7) + 1
+
+
+def test_learn_p0v_monotone():
+    t = TrimmingInfo(0, N)
+    p = PageId(1, 2)
+    t.learn_p0v(p, 5)
+    t.learn_p0v(p, 3)
+    assert t.diff_bound(p) == 5
+    t.learn_p0v(p, 9)
+    assert t.diff_bound(p) == 9
+
+
+def test_single_process_cluster():
+    t = TrimmingInfo(0, 1)
+    t.tckp = [VClock((7,))]
+    assert t.tmin() == VClock((7,))
+    assert t.wn_keep_from() == 1
+    assert t.bar_keep_from() == 0
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(0, N - 1),
+            st.lists(st.integers(0, 20), min_size=N, max_size=N),
+        ),
+        max_size=20,
+    )
+)
+def test_tmin_never_exceeds_any_peer_knowledge(updates):
+    """Staleness safety: Tmin is always a lower bound of every peer's
+    last known checkpoint — so CGC never discards a copy a peer-recovery
+    could still need."""
+    t = TrimmingInfo(0, N)
+    for proc, c in updates:
+        t.learn_tckp(proc, VClock(c))
+    tm = t.tmin()
+    for j in range(1, N):
+        assert tm.leq(t.tckp[j])
+
+
+@given(st.lists(st.integers(0, 30), max_size=15))
+def test_p0v_bound_is_max_of_learned(values):
+    t = TrimmingInfo(0, N)
+    p = PageId(0, 0)
+    for v in values:
+        t.learn_p0v(p, v)
+    assert t.diff_bound(p) == (max(values) if values else 0)
