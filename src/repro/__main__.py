@@ -6,6 +6,7 @@ Examples::
     python -m repro barnes --procs 8 --ft --l 0.25 --crash 3@0.5
     python -m repro counter --ft --coordinated --wan 5e-3 --trace lock,ckpt
     python -m repro tables --scale smoke
+    python -m repro bench --smoke --check
 """
 
 from __future__ import annotations
@@ -20,7 +21,7 @@ from repro.core import LogOverflowPolicy
 from repro.sim.network import MetaClusterConfig, NetworkConfig
 from repro.sim.node import TimeBucket
 
-APPS = ["counter", "barnes", "water-nsq", "water-spatial", "lu", "tables"]
+APPS = ["counter", "barnes", "water-nsq", "water-spatial", "lu", "tables", "bench"]
 
 
 def make_app(name: str, steps: Optional[int], size: Optional[int]) -> Any:
@@ -107,6 +108,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trace-limit", type=int, default=60)
     p.add_argument("--scale", default="smoke", choices=["smoke", "default"],
                    help="scale for the 'tables' harness")
+    bench = p.add_argument_group("bench", "options for the 'bench' subcommand")
+    bench.add_argument(
+        "--smoke", action="store_true",
+        help="bench: run the reduced smoke suite (used by CI)",
+    )
+    bench.add_argument(
+        "--profile", action="store_true",
+        help="bench: attach cProfile to the app benches and print hot spots",
+    )
+    bench.add_argument(
+        "--bench-json", default="benchmarks/BENCH_core.json", metavar="PATH",
+        help="bench: baseline file to record to / check against",
+    )
+    bench.add_argument(
+        "--check", action="store_true",
+        help="bench: compare against the committed baseline instead of "
+        "recording; exit 1 if events/sec regressed more than the budget",
+    )
+    bench.add_argument(
+        "--budget", type=float, default=0.30, metavar="FRAC",
+        help="bench --check: tolerated events/sec regression (default 0.30)",
+    )
     return p
 
 
@@ -138,6 +161,32 @@ def make_cluster(args: argparse.Namespace) -> DsmCluster:
 
 def main(argv: Optional[list] = None) -> int:
     args = build_parser().parse_args(argv)
+
+    if args.app == "bench":
+        from repro.metrics.bench import (
+            check_report,
+            render_report,
+            run_suite,
+            write_report,
+        )
+
+        report = run_suite(smoke=args.smoke, profile=args.profile)
+        print(render_report(report))
+        if args.check:
+            ok, msg = check_report(args.bench_json, report, budget=args.budget)
+            print(("PASS " if ok else "FAIL ") + msg)
+            return 0 if ok else 1
+        if args.smoke or args.profile:
+            # smoke/profiled numbers are not comparable to the full suite;
+            # recording them would silently corrupt the committed baseline
+            print("\n(smoke/profile run not recorded; run plain "
+                  "`repro bench` to update " + args.bench_json + ")")
+            return 0
+        payload = write_report(args.bench_json, report)
+        speedup = payload.get("speedup_events_per_sec")
+        print(f"\nrecorded to {args.bench_json}"
+              + (f" (x{speedup} vs baseline)" if speedup else ""))
+        return 0
 
     if args.app == "tables":
         from repro.harness.figures import figure3_table, figure4_render

@@ -18,6 +18,7 @@ bit modulo node numbering — which the result check exploits.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Any, Dict, Iterator, List, Tuple
 
@@ -93,6 +94,9 @@ class _Tree:
         #: node indices modified since construction (drives precise
         #: write-range declarations in the DSM app)
         self.touched: set = set()
+        #: lazily built per-column scalar views for force_on; any tree
+        #: mutation drops it (contents are stable across the force loop)
+        self._fc: Any = None
 
     # -- geometry ---------------------------------------------------------
     @staticmethod
@@ -112,6 +116,7 @@ class _Tree:
         return cx, cy, cz, h
 
     def init_internal(self, idx: int, cx: float, cy: float, cz: float, h: float) -> None:
+        self._fc = None
         rec = self.nodes[idx]
         rec[:] = 0.0
         rec[F_TYPE] = INTERNAL
@@ -121,6 +126,7 @@ class _Tree:
         self.touched.add(idx)
 
     def init_leaf(self, idx: int, body: int, cx: float, cy: float, cz: float, h: float) -> None:
+        self._fc = None
         rec = self.nodes[idx]
         rec[:] = 0.0
         rec[F_TYPE] = LEAF
@@ -135,6 +141,7 @@ class _Tree:
         self, root: int, body: int, p: np.ndarray, alloc: "Allocator"
     ) -> int:
         """Insert ``body`` under ``root``; returns levels descended."""
+        self._fc = None
         node = root
         depth = 0
         while True:
@@ -184,6 +191,7 @@ class _Tree:
     # -- center of mass -----------------------------------------------------
     def compute_com(self, root: int, pos: np.ndarray) -> int:
         """Post-order mass/COM accumulation; returns nodes visited."""
+        self._fc = None
         visited = 0
         stack = [(root, False)]
         while stack:
@@ -217,34 +225,80 @@ class _Tree:
         return visited
 
     # -- force ---------------------------------------------------------------
+    def _build_force_cache(self) -> Tuple[Any, ...]:
+        """Per-column scalar lists + a contiguous COM block.
+
+        ``force_on`` touches a handful of scalar fields per visited node;
+        reading them through numpy row indexing allocates an ``np.float64``
+        per access and dominated profiles. Plain-list columns make those
+        reads native. The COM block stays a float64 array so the distance
+        vector and the ``d @ d`` reduction execute the exact same numpy
+        operations (and rounding) as before.
+        """
+        nd = self.nodes
+        return (
+            nd[:, F_TYPE].tolist(),
+            nd[:, F_BODY].tolist(),
+            nd[:, F_MASS].tolist(),
+            nd[:, F_HALF].tolist(),
+            np.ascontiguousarray(nd[:, F_MX : F_MZ + 1]),
+            nd[:, F_CHILD0 : F_CHILD0 + 8].astype(np.int64).tolist(),
+        )
+
     def force_on(self, root: int, body: int, p: np.ndarray) -> Tuple[np.ndarray, int]:
         cfg = self.cfg
-        acc = np.zeros(3)
+        fc = self._fc
+        if fc is None:
+            fc = self._fc = self._build_force_cache()
+        types, bodies, masses, halves, com, children = fc
+        # Batch the geometry for every node up front so the tree walk is
+        # pure Python. Rounding contract: the broadcast subtract performs
+        # the same elementwise ops as the per-node ``com[node] - p``, and
+        # the stacked matmul dispatches the same dot kernel per row as the
+        # per-node ``d @ d`` (verified bitwise; einsum/square-sum do NOT
+        # match because the BLAS dot uses FMA).
+        dmat = com - p
+        r2s = (
+            np.matmul(dmat[:, None, :], dmat[:, :, None]).ravel()
+            + cfg.softening**2
+        ).tolist()
+        ds = dmat.tolist()
+        sqrt = math.sqrt
+        ax = ay = az = 0.0
         interactions = 0
         stack = [root]
-        eps2 = cfg.softening**2
+        theta2 = cfg.theta**2
         while stack:
             node = stack.pop()
-            rec = self.nodes[node]
-            if rec[F_TYPE] == EMPTY or rec[F_MASS] <= 0.0:
+            ty = types[node]
+            mass = masses[node]
+            if ty == EMPTY or mass <= 0.0:
                 continue
-            d = rec[F_MX : F_MZ + 1] - p
-            r2 = float(d @ d) + eps2
-            if rec[F_TYPE] == LEAF:
-                if int(rec[F_BODY]) != body:
-                    acc += rec[F_MASS] * d / (r2 * np.sqrt(r2))
+            r2 = r2s[node]
+            if ty == LEAF:
+                if bodies[node] != body:
+                    s = r2 * sqrt(r2)
+                    dx, dy, dz = ds[node]
+                    ax += mass * dx / s
+                    ay += mass * dy / s
+                    az += mass * dz / s
                     interactions += 1
                 continue
-            size = 2.0 * rec[F_HALF]
-            if size * size < cfg.theta**2 * r2:
-                acc += rec[F_MASS] * d / (r2 * np.sqrt(r2))
+            size = 2.0 * halves[node]
+            if size * size < theta2 * r2:
+                s = r2 * sqrt(r2)
+                dx, dy, dz = ds[node]
+                ax += mass * dx / s
+                ay += mass * dy / s
+                az += mass * dz / s
                 interactions += 1
             else:
-                for o in range(7, -1, -1):
-                    child = int(rec[F_CHILD0 + o])
-                    if child >= 0:
-                        stack.append(child)
-        return acc, interactions
+                # push high octant first so octant 0 pops first, exactly
+                # like the original descending-range loop
+                for c in reversed(children[node]):
+                    if c >= 0:
+                        stack.append(c)
+        return np.array((ax, ay, az)), interactions
 
 
 class Allocator:

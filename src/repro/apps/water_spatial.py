@@ -84,8 +84,11 @@ def _forces_for_cell(
     f = np.zeros((len(members), 3))
     count = 0
     cut2 = cfg.cutoff * cfg.cutoff
+    # the neighbor gather is invariant across members; hoisting it out of
+    # the loop changes no values (same fancy-index, same subtraction)
+    nb_pos = pos[neighbor_members]
     for k, i in enumerate(members):
-        d = pos[neighbor_members] - pos[i]
+        d = nb_pos - pos[i]
         d -= np.rint(d)
         r2 = np.einsum("ij,ij->i", d, d)
         mask = (r2 < cut2) & (r2 > 1e-12)

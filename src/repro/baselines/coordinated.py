@@ -231,7 +231,7 @@ class CoordinatedFt(FtManager):
         homed: Dict[PageId, Tuple[bytes, VClock]] = {}
         for page in proc.home.pages():
             hp = proc.home[page]
-            homed[page] = (proc.page_bytes(page).tobytes(), hp.version)
+            homed[page] = (proc.page_snapshot(page, hp), hp.version)
         page_bytes = sum(len(d) for d, _ in homed.values())
         total = page_bytes + len(state_blob) + len(proto_blob)
         write_cost = self.disk.write_cost(total)
@@ -346,9 +346,7 @@ class CoordinatedFt(FtManager):
             return
         self.committed_round = round_id
         # drop ALL volatile logs (the coordinated scheme's GC advantage)
-        discarded = self.logs.diff.volatile_bytes
-        self.logs.diff.per_page.clear()
-        self.logs.diff.bytes_discarded += discarded
+        self.logs.diff.clear()
         for i in range(self.n):
             self.logs.rel.entries[i] = []
             self.logs.acq.entries[i] = []
@@ -511,6 +509,7 @@ def _restore_round(host: Any, round_id: int) -> None:
                 break
         hp = proto.home[page]
         hp.version = version
+        hp.drop_snapshot()
         proto.have_v[page] = version
     # lock tokens / sequence numbers / barrier position
     for lock_id, (has_token, held) in ckpt.lock_tokens.items():

@@ -16,7 +16,6 @@ Typical use::
 
 from __future__ import annotations
 
-import heapq
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
@@ -152,6 +151,8 @@ class DsmCluster:
         self._started = False
         self.crashes = 0
         self.recoveries = 0
+        #: hosts whose app main has not returned yet (stop predicate)
+        self._unfinished = 0
         #: pending failure injections: (time, pid)
         self._crash_schedule: List[Tuple[float, int]] = []
         #: "independent" (the paper's log-based single-process recovery)
@@ -233,18 +234,15 @@ class DsmCluster:
     def _app_main(self, host: ProcHost) -> Iterator[Any]:
         yield from self.app.run(host.proto, host.state)
         host.finished = True
+        self._unfinished -= 1
 
     def _run_loop(self, max_steps: int) -> None:
-        engine = self.engine
-        while engine._queue:
-            if all(h.finished for h in self.hosts):
-                break
-            ev = heapq.heappop(engine._queue)
-            engine.now = max(engine.now, ev.time)
-            ev.fn()
-            engine.steps += 1
-            if engine.steps > max_steps:
-                raise RuntimeError(f"exceeded {max_steps} events at t={engine.now}")
+        # the stop predicate runs after every event; a counter maintained
+        # by _app_main keeps it O(1) instead of a scan over all hosts
+        self._unfinished = sum(1 for h in self.hosts if not h.finished)
+        self.engine.run(
+            max_steps=max_steps, stop=lambda: self._unfinished == 0
+        )
         pending = [h.pid for h in self.hosts if not h.finished]
         if pending:
             raise RuntimeError(

@@ -111,8 +111,13 @@ class FtManager(FtHooks):
         #: encoding: known checkpoint timestamps are gossiped, but travel
         #: to each destination only once)
         self._sent_tckp: Dict[int, Dict[int, Tuple[VClock, int]]] = {}
+        #: dst -> trim.gen at the last full delta scan for that dst
+        self._sent_gen: Dict[int, int] = {}
         #: a policy asked for a checkpoint; taken at the next safe point
         self.checkpoint_requested = False
+        #: zero-vector tuple, prebuilt once (piggyback_for compares every
+        #: known tckp against it on every outgoing message)
+        self._zero_v: Tuple[int, ...] = VClock.zero(self.n).v
         #: supplies the application's resumable private state
         self.app_state_fn: Callable[[], Any] = lambda: {}
         self._install()
@@ -187,6 +192,10 @@ class FtManager(FtHooks):
             return None
         adverts: Tuple[Tuple[PageId, int], ...] = ()
         pending = self.pending_adverts.get(dst)
+        if not pending and self._sent_gen.get(dst) == self.trim.gen:
+            # nothing learned since the last scan for this destination:
+            # the delta loop below would find every entry already sent
+            return None
         if pending:
             k = self.config.piggyback_max_page_versions
             adverts = tuple(pending[:k])
@@ -199,11 +208,12 @@ class FtManager(FtHooks):
             if proc == dst:
                 continue
             cur = (self.trim.tckp[proc], self.trim.bar_ep[proc])
-            if cur[0].v == (0,) * self.n and cur[1] == 0:
+            if cur[1] == 0 and cur[0].v == self._zero_v:
                 continue  # nothing known yet
             if sent.get(proc) != cur:
                 sent[proc] = cur
                 tckps.append((proc, cur[0], cur[1]))
+        self._sent_gen[dst] = self.trim.gen
         if not tckps and not adverts:
             return None
         return Piggyback(tckps=tuple(tckps), page_versions=adverts)
@@ -243,7 +253,7 @@ class FtManager(FtHooks):
         homed: Dict[PageId, Tuple[bytes, VClock]] = {}
         for page in proc.home.pages():
             hp = proc.home[page]
-            homed[page] = (proc.page_bytes(page).tobytes(), hp.version)
+            homed[page] = (proc.page_snapshot(page, hp), hp.version)
         pack_cost = sum(len(d) for d, _ in homed.values()) * (
             proc.cpu.costs.checkpoint_pack_per_byte
         )

@@ -125,7 +125,14 @@ class DiffLogEntry:
 
 
 class DiffLog:
-    """All diffs created by this process, per page."""
+    """All diffs created by this process, per page.
+
+    ``volatile_bytes``/``unsaved_bytes``/``saved_bytes`` are backed by
+    incrementally maintained counters: the log-overflow policy reads them
+    at every sync point, and summing over all entries there dominated
+    profiles. All mutation goes through the methods below so that the
+    counters stay exact.
+    """
 
     def __init__(self) -> None:
         self.per_page: Dict[PageId, List[DiffLogEntry]] = {}
@@ -133,11 +140,20 @@ class DiffLog:
         self.bytes_created = 0
         self.bytes_discarded = 0
         self.bytes_discarded_saved = 0  # subset that had reached the disk
+        # current-footprint counters (kept in lockstep with per_page)
+        self._volatile = 0
+        self._unsaved = 0
 
-    def append(self, page: PageId, diff: Diff, t: VClock) -> DiffLogEntry:
-        entry = DiffLogEntry(page, diff, t)
+    def append(
+        self, page: PageId, diff: Diff, t: VClock, saved: bool = False
+    ) -> DiffLogEntry:
+        entry = DiffLogEntry(page, diff, t, saved)
         self.per_page.setdefault(page, []).append(entry)
-        self.bytes_created += entry.size_bytes
+        size = entry.size_bytes
+        self.bytes_created += size
+        self._volatile += size
+        if not saved:
+            self._unsaved += size
         return entry
 
     def entries_for(self, page: PageId) -> List[DiffLogEntry]:
@@ -164,34 +180,36 @@ class DiffLog:
                 dropped_bytes += e.size_bytes
                 if e.saved:
                     self.bytes_discarded_saved += e.size_bytes
+                else:
+                    self._unsaved -= e.size_bytes
         self.per_page[page] = kept
         self.bytes_discarded += dropped_bytes
+        self._volatile -= dropped_bytes
         return dropped_bytes
+
+    def clear(self) -> int:
+        """Discard the whole log (coordinated checkpointing commits do
+        this: a consistent global cut obsoletes every volatile diff).
+        Returns bytes discarded."""
+        discarded = self._volatile
+        self.per_page.clear()
+        self.bytes_discarded += discarded
+        self._volatile = 0
+        self._unsaved = 0
+        return discarded
 
     @property
     def volatile_bytes(self) -> int:
-        return sum(
-            e.size_bytes for es in self.per_page.values() for e in es
-        )
+        return self._volatile
 
     @property
     def unsaved_bytes(self) -> int:
-        return sum(
-            e.size_bytes
-            for es in self.per_page.values()
-            for e in es
-            if not e.saved
-        )
+        return self._unsaved
 
     @property
     def saved_bytes(self) -> int:
         """Current stable-storage footprint of this log."""
-        return sum(
-            e.size_bytes
-            for es in self.per_page.values()
-            for e in es
-            if e.saved
-        )
+        return self._volatile - self._unsaved
 
     def mark_all_saved(self) -> int:
         """Flush: mark unsaved entries saved; returns bytes newly written."""
@@ -201,6 +219,7 @@ class DiffLog:
                 if not e.saved:
                     e.saved = True
                     written += e.size_bytes
+        self._unsaved -= written
         return written
 
     def snapshot(self) -> Dict[PageId, List[DiffLogEntry]]:

@@ -324,6 +324,7 @@ class RecoveryManager:
             proto.page_bytes(page)[:] = np.frombuffer(data, dtype=np.uint8)
             hp = proto.home[page]
             hp.version = version
+            hp.drop_snapshot()
             proto.have_v[page] = version
         # own write notices
         for wn in ckpt.own_notices:
@@ -331,8 +332,7 @@ class RecoveryManager:
         # saved diff log
         for page, entries in ckpt.diff_log.items():
             for e in entries:
-                restored = ft.logs.diff.append(page, e.diff, e.t)
-                restored.saved = True
+                ft.logs.diff.append(page, e.diff, e.t, saved=True)
             # restoring is not creating: undo the double count
             ft.logs.diff.bytes_created -= sum(e.size_bytes for e in entries)
         # protocol bookkeeping

@@ -43,14 +43,23 @@ class TrimmingInfo:
         self.bar_ep: List[int] = [0] * num_procs
         #: page -> last known p0.v[self] at the page's home (Rule 3.2 input)
         self.p0v: Dict[PageId, int] = {}
+        #: bumped on every actual tckp/bar_ep change; lets the gossip
+        #: encoder skip its per-destination delta scan when nothing moved
+        self.gen = 0
 
     # ------------------------------------------------------------------
     # updates from piggybacked control data
     # ------------------------------------------------------------------
     def learn_tckp(self, proc: int, tckp: VClock, bar_ep: int = 0) -> None:
         """Monotone update of a peer's checkpoint timestamp."""
-        self.tckp[proc] = self.tckp[proc].join(tckp)
-        self.bar_ep[proc] = max(self.bar_ep[proc], bar_ep)
+        cur = self.tckp[proc]
+        new = cur.join(tckp)
+        if new is not cur:  # join returns the operand when dominated
+            self.tckp[proc] = new
+            self.gen += 1
+        if bar_ep > self.bar_ep[proc]:
+            self.bar_ep[proc] = bar_ep
+            self.gen += 1
 
     def learn_p0v(self, page: PageId, version_component: int) -> None:
         cur = self.p0v.get(page, 0)

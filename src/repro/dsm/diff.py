@@ -12,8 +12,7 @@ a byte-wise inequality mask is reduced to run boundaries with
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Tuple
+from typing import Iterable, List, Tuple
 
 import numpy as np
 
@@ -24,24 +23,35 @@ __all__ = ["Diff", "compute_diff", "apply_diff", "merge_runs"]
 RUN_HEADER_BYTES = 8
 
 
-@dataclass(frozen=True)
 class Diff:
-    """An encoded page diff: sorted, non-overlapping, non-adjacent runs."""
+    """An encoded page diff: sorted, non-overlapping, non-adjacent runs.
 
-    runs: Tuple[Tuple[int, bytes], ...]  # (offset, data), sorted by offset
+    Immutable. ``payload_bytes``/``size_bytes`` are computed once at
+    construction: size accounting runs on every send, log append and
+    trim decision, so recomputing the sums there dominated profiles.
+    """
+
+    __slots__ = ("runs", "payload_bytes", "size_bytes")
+
+    def __init__(self, runs: Iterable[Tuple[int, bytes]] = ()) -> None:
+        #: (offset, data), sorted by offset
+        self.runs: Tuple[Tuple[int, bytes], ...] = tuple(runs)
+        payload = 0
+        for _, data in self.runs:
+            payload += len(data)
+        self.payload_bytes = payload
+        #: modeled encoded size (payload + per-run headers)
+        self.size_bytes = payload + RUN_HEADER_BYTES * len(self.runs)
 
     @property
     def empty(self) -> bool:
         return not self.runs
 
-    @property
-    def payload_bytes(self) -> int:
-        return sum(len(d) for _, d in self.runs)
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Diff) and self.runs == other.runs
 
-    @property
-    def size_bytes(self) -> int:
-        """Modeled encoded size (payload + per-run headers)."""
-        return self.payload_bytes + RUN_HEADER_BYTES * len(self.runs)
+    def __hash__(self) -> int:
+        return hash(self.runs)
 
     def covered(self) -> List[Tuple[int, int]]:
         """[(offset, end)) intervals touched by this diff."""
@@ -63,10 +73,12 @@ def compute_diff(twin: np.ndarray, page: np.ndarray) -> Diff:
     # Boundaries where the mask flips; prepend/append sentinels so that
     # runs touching the page edges are closed.
     padded = np.concatenate(([False], neq, [False]))
-    edges = np.flatnonzero(padded[1:] != padded[:-1])
-    starts, ends = edges[0::2], edges[1::2]
+    edges = np.flatnonzero(padded[1:] != padded[:-1]).tolist()
+    # one bulk copy, then O(1) bytes slices per run — much cheaper than a
+    # per-run ndarray slice + tobytes when runs are small and many
+    raw = page.tobytes()
     runs = tuple(
-        (int(s), page[s:e].tobytes()) for s, e in zip(starts, ends)
+        (s, raw[s:e]) for s, e in zip(edges[0::2], edges[1::2])
     )
     return Diff(runs)
 

@@ -37,13 +37,24 @@ class HomePage:
     vector and the fetches waiting for in-flight diffs.
     """
 
-    __slots__ = ("page", "version", "pending", "applied_bytes")
+    __slots__ = ("page", "version", "pending", "applied_bytes", "snap", "snap_version")
 
     def __init__(self, page: PageId, n: int) -> None:
         self.page = page
         self.version = VClock.zero(n)
         self.pending: List[_PendingFetch] = []
         self.applied_bytes = 0
+        #: cached immutable snapshot of the page contents, keyed by the
+        #: *identity* of the version object it was taken under (the
+        #: version is replaced whenever the contents legally change)
+        self.snap: Optional[bytes] = None
+        self.snap_version: Optional[VClock] = None
+
+    def drop_snapshot(self) -> None:
+        """Invalidate the cached snapshot (restore paths assign
+        ``version`` directly, possibly re-installing an old object)."""
+        self.snap = None
+        self.snap_version = None
 
     def advance(self, writer: int, interval: int) -> None:
         """Record that ``writer``'s diff for ``interval`` was applied."""
@@ -93,6 +104,9 @@ class HomeDirectory:
 
     def __getitem__(self, page: PageId) -> HomePage:
         return self._pages[page]
+
+    def get(self, page: PageId) -> Optional[HomePage]:
+        return self._pages.get(page)
 
     def pages(self) -> List[PageId]:
         return list(self._pages.keys())

@@ -31,17 +31,26 @@ class NoticeTable:
         self._by_interval: List[Dict[int, List[WriteNotice]]] = [
             {} for _ in range(num_procs)
         ]
+        # (creator, interval) -> pages already present, for O(1) dedup
+        self._pages: List[Dict[int, Set[PageId]]] = [
+            {} for _ in range(num_procs)
+        ]
 
     def add(self, notice: WriteNotice) -> bool:
         """Insert a notice; returns False if already known."""
-        table = self._by_interval[notice.creator]
-        bucket = table.get(notice.interval)
+        creator = notice.creator
+        interval = notice.interval
+        table = self._by_interval[creator]
+        bucket = table.get(interval)
         if bucket is None:
             bucket = []
-            table[notice.interval] = bucket
-            insort(self._intervals[notice.creator], notice.interval)
-        if any(n.page == notice.page for n in bucket):
+            table[interval] = bucket
+            self._pages[creator][interval] = set()
+            insort(self._intervals[creator], interval)
+        pages = self._pages[creator][interval]
+        if notice.page in pages:
             return False
+        pages.add(notice.page)
         bucket.append(notice)
         return True
 
@@ -87,6 +96,7 @@ class NoticeTable:
         dropped = 0
         for k in range(cut):
             dropped += len(self._by_interval[creator].pop(ivs[k]))
+            self._pages[creator].pop(ivs[k], None)
         del ivs[:cut]
         return dropped
 

@@ -76,6 +76,13 @@ class SharedRegion:
         self.nbytes = self.num_pages * config.page_size
         self.elems_per_page = config.page_size // self.elem_size
         self._homes: List[int] = self._default_homes()
+        #: RegionSet this region belongs to (set by ``RegionSet.allocate``);
+        #: used to reject home reassignment after sharing starts
+        self._owner: Optional["RegionSet"] = None
+        #: interned PageId per index — hot paths construct these constantly
+        self._page_ids: List[PageId] = [
+            PageId(region_id, i) for i in range(self.num_pages)
+        ]
 
     def _default_homes(self) -> List[int]:
         n = self.config.num_procs
@@ -92,9 +99,16 @@ class SharedRegion:
     def set_home(self, page_index: int, proc: int) -> None:
         """Explicit home assignment (first-touch stand-in).
 
-        Only legal before any sharing has happened; the DSM layer enforces
-        this by rejecting reassignment after interval 0.
+        Only legal before any sharing has happened: once the owning
+        :class:`RegionSet` is sealed, every process has derived its home
+        directory and page states from the placement, so reassignment is
+        rejected.
         """
+        if self._owner is not None and self._owner.sealed:
+            raise RuntimeError(
+                f"cannot reassign home of {self.name!r}[{page_index}]: "
+                "region set is sealed (sharing has started)"
+            )
         if not (0 <= proc < self.config.num_procs):
             raise ValueError(f"proc {proc} out of range")
         self._homes[page_index] = proc
@@ -122,7 +136,7 @@ class SharedRegion:
         return lo, lo + self.config.page_size
 
     def page_id(self, page_index: int) -> PageId:
-        return PageId(self.region_id, page_index)
+        return self._page_ids[page_index]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -143,6 +157,7 @@ class RegionSet:
         if self.sealed:
             raise RuntimeError("regions cannot be allocated after sharing starts")
         region = SharedRegion(len(self._regions), name, num_elements, dtype, self.config)
+        region._owner = self
         self._regions.append(region)
         return region
 

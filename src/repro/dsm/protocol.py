@@ -38,7 +38,7 @@ import numpy as np
 from repro.dsm.barrier import BarrierManagerState
 from repro.dsm.config import DsmConfig
 from repro.dsm.diff import Diff, apply_diff, compute_diff
-from repro.dsm.home import HomeDirectory
+from repro.dsm.home import HomeDirectory, HomePage
 from repro.dsm.interval import NoticeTable
 from repro.dsm.locks import LockTable
 from repro.dsm.messages import (
@@ -277,7 +277,10 @@ class DsmProcess:
     # ------------------------------------------------------------------
     def read_range(self, region: SharedRegion, lo: int, hi: int) -> Iterator[Any]:
         """Make elements [lo, hi) readable; returns the typed local view."""
-        for idx in region.pages_for_range(lo, hi):
+        pages = region.pages_for_range(lo, hi)
+        if self._range_ready(region, pages, for_write=False):
+            return self.typed_view(region)[lo:hi]
+        for idx in pages:
             yield from self._ensure_valid(region.page_id(idx))
         return self.typed_view(region)[lo:hi]
 
@@ -287,9 +290,53 @@ class DsmProcess:
         The caller must only write inside the declared range (the
         simulator stands in for per-page write protection).
         """
-        for idx in region.pages_for_range(lo, hi):
+        pages = region.pages_for_range(lo, hi)
+        if self._range_ready(region, pages, for_write=True):
+            return self.typed_view(region)[lo:hi]
+        for idx in pages:
             yield from self._ensure_writable(region.page_id(idx))
         return self.typed_view(region)[lo:hi]
+
+    def _range_ready(self, region: SharedRegion, pages: range, for_write: bool) -> bool:
+        """True when every page in ``pages`` can be served without a yield.
+
+        This is the no-yield fast path of ``read_range``/``write_range``:
+        when there is no handler debt to drain and every covered page is
+        already valid (and dirty, for writes), the per-page
+        ``_ensure_valid``/``_ensure_writable`` loop would execute zero
+        yields, so it can be skipped wholesale. The check is pure except
+        for clearing ``needed_v`` on satisfied home pages — exactly the
+        side effect ``_ensure_home_ready`` would have performed — and
+        mutates nothing when it returns False, so the fallback slow path
+        starts from pristine state.
+        """
+        if self.cpu.handler_debt or self.replay is not None:
+            return False
+        entries = self.entries
+        home = self.home
+        have_v = self.have_v
+        page_id = region.page_id
+        satisfied_homes: List[PageEntry] = []
+        for idx in pages:
+            page = page_id(idx)
+            entry = entries[page]
+            if for_write and not entry.dirty:
+                return False
+            hp = home.get(page)
+            needed = entry.needed_v
+            if hp is not None:
+                if needed is not None:
+                    if not needed.leq(hp.version):
+                        return False
+                    satisfied_homes.append(entry)
+            else:
+                if entry.state is PageState.INVALID:
+                    return False
+                if needed is not None and not needed.leq(have_v[page]):
+                    return False
+        for entry in satisfied_homes:
+            entry.needed_v = None
+        return True
 
     def _ensure_valid(self, page: PageId) -> Iterator[Any]:
         yield from self.cpu.drain_debt()
@@ -769,11 +816,32 @@ class DsmProcess:
         self.ft.on_diff_received(msg.page, msg.writer, msg.diff_vt)
         hp.service_pending()
 
+    def page_snapshot(self, page: PageId, hp: Optional["HomePage"] = None) -> bytes:
+        """Immutable snapshot of a homed page's current contents.
+
+        Fetch replies and checkpoints share one cached ``bytes`` object
+        per (page, version): the payload travels by reference and is
+        copied only on install. The cache is keyed by version-object
+        *identity* — the home replaces the version whenever the contents
+        legally change — and bypassed while the page is dirty or the
+        process is replaying, when bytes can move under an unchanged
+        version.
+        """
+        if hp is None:
+            hp = self.home[page]
+        if self.entries[page].dirty or self.replay is not None:
+            return self.page_bytes(page).tobytes()
+        version = hp.version
+        if hp.snap_version is not version:
+            hp.snap = self.page_bytes(page).tobytes()
+            hp.snap_version = version
+        return hp.snap
+
     def _handle_fetch_req(self, req: PageFetchReq) -> None:
         hp = self.home[req.page]
 
         def reply() -> None:
-            data = self.page_bytes(req.page).tobytes()
+            data = self.page_snapshot(req.page, hp)
             self.cpu.accrue_handler(
                 len(data) * self.cpu.costs.twin_create_per_byte
             )

@@ -6,11 +6,23 @@ of ``i`` and ``vt[j] = `` the most recent interval of ``j`` whose effects
 ``i`` has seen (§3). Timestamps are immutable tuples: every mutation
 returns a new value, which eliminates aliasing bugs between protocol
 state, logs and checkpoints.
+
+Fast path
+---------
+Vector-clock operations run on every message, write notice and trim
+decision, so the lattice operations avoid the validating constructor:
+internal results are built with :meth:`VClock._make` (a raw tuple
+wrapper), ``zero()`` returns a per-length interned instance, ``leq``
+exits at the first violating component, and ``join``/``meet`` return an
+existing operand whenever it already equals the result (so repeated
+joins against a dominated clock allocate nothing and enable ``is``
+short-circuits downstream). The public constructor keeps full
+validation for values that cross an API boundary.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Tuple
+from typing import Dict, Iterable, Tuple
 
 __all__ = ["VClock"]
 
@@ -20,14 +32,27 @@ class VClock:
 
     __slots__ = ("v",)
 
+    #: interned zero clocks, keyed by vector length
+    _zero_cache: Dict[int, "VClock"] = {}
+
     def __init__(self, v: Iterable[int]):
         self.v: Tuple[int, ...] = tuple(int(x) for x in v)
         if any(x < 0 for x in self.v):
             raise ValueError(f"negative component in {self.v}")
 
     @classmethod
+    def _make(cls, v: Tuple[int, ...]) -> "VClock":
+        """Wrap an already-validated component tuple without checks."""
+        self = object.__new__(cls)
+        self.v = v
+        return self
+
+    @classmethod
     def zero(cls, n: int) -> "VClock":
-        return cls((0,) * n)
+        z = cls._zero_cache.get(n)
+        if z is None:
+            z = cls._zero_cache[n] = cls._make((0,) * n)
+        return z
 
     def __len__(self) -> int:
         return len(self.v)
@@ -50,8 +75,15 @@ class VClock:
     # -- partial order ---------------------------------------------------
     def leq(self, other: "VClock") -> bool:
         """Componentwise ``self <= other`` (the happened-before order)."""
-        self._check(other)
-        return all(a <= b for a, b in zip(self.v, other.v))
+        a, b = self.v, other.v
+        if a is b:
+            return True
+        if len(a) != len(b):
+            self._check(other)
+        for x, y in zip(a, b):
+            if x > y:
+                return False
+        return True
 
     def lt(self, other: "VClock") -> bool:
         return self.leq(other) and self.v != other.v
@@ -62,29 +94,51 @@ class VClock:
     # -- lattice operations ----------------------------------------------
     def join(self, other: "VClock") -> "VClock":
         """Componentwise max (least upper bound)."""
-        self._check(other)
-        return VClock(max(a, b) for a, b in zip(self.v, other.v))
+        a, b = self.v, other.v
+        if a is b:
+            return self
+        if len(a) != len(b):
+            self._check(other)
+        out = tuple(map(max, a, b))
+        if out == a:
+            return self
+        if out == b:
+            return other
+        return VClock._make(out)
 
     def meet(self, other: "VClock") -> "VClock":
         """Componentwise min (greatest lower bound)."""
-        self._check(other)
-        return VClock(min(a, b) for a, b in zip(self.v, other.v))
+        a, b = self.v, other.v
+        if a is b:
+            return self
+        if len(a) != len(b):
+            self._check(other)
+        out = tuple(map(min, a, b))
+        if out == a:
+            return self
+        if out == b:
+            return other
+        return VClock._make(out)
 
     # -- updates -----------------------------------------------------------
     def bump(self, i: int, by: int = 1) -> "VClock":
         """New clock with component ``i`` advanced by ``by``."""
-        if not (0 <= i < len(self.v)):
+        v = self.v
+        if not (0 <= i < len(v)):
             raise IndexError(i)
         if by < 0:
             raise ValueError("cannot decrease a component")
-        return VClock(
-            x + by if j == i else x for j, x in enumerate(self.v)
-        )
+        return VClock._make(v[:i] + (v[i] + by,) + v[i + 1 :])
 
     def with_component(self, i: int, value: int) -> "VClock":
-        if not (0 <= i < len(self.v)):
+        v = self.v
+        if not (0 <= i < len(v)):
             raise IndexError(i)
-        return VClock(value if j == i else x for j, x in enumerate(self.v))
+        if value < 0:
+            raise ValueError(f"negative component: {value}")
+        if v[i] == value:
+            return self
+        return VClock._make(v[:i] + (value,) + v[i + 1 :])
 
     def _check(self, other: "VClock") -> None:
         if len(self.v) != len(other.v):

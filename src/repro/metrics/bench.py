@@ -1,0 +1,366 @@
+"""Benchmark harness for the simulation core (``python -m repro bench``).
+
+Runs a fixed suite of micro benchmarks (engine dispatch, ready-queue
+churn, vector-clock lattice ops, diff compute/apply) plus a set of small
+application runs, and reports **events/sec** (simulator events processed
+per host second) and wall-clock per bench. The suite is the repo's
+standing measure of hot-path performance: results are recorded in
+``benchmarks/BENCH_core.json`` so the perf trajectory of the simulator is
+tracked across PRs, and CI replays the smoke suite against the committed
+baseline to catch regressions.
+
+The app benches run fixed, deterministic configurations; their virtual
+times and traffic counters are part of the report so a perf change that
+accidentally alters simulation semantics is visible immediately (the
+golden-determinism test also pins them).
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import json
+import platform
+import pstats
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "BenchResult",
+    "run_app_bench",
+    "run_suite",
+    "render_report",
+    "write_report",
+    "check_report",
+]
+
+
+@dataclass
+class BenchResult:
+    """Outcome of one benchmark."""
+
+    name: str
+    wall_s: float
+    events: int = 0  # simulator events processed (engine steps)
+    ops: int = 0  # micro-bench operations (0 for app benches)
+    virtual_time: float = 0.0
+    total_msgs: int = 0
+    total_bytes: int = 0
+    profile_text: str = ""
+
+    @property
+    def events_per_sec(self) -> float:
+        return self.events / self.wall_s if self.wall_s > 0 else 0.0
+
+    @property
+    def ops_per_sec(self) -> float:
+        return self.ops / self.wall_s if self.wall_s > 0 else 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "wall_s": round(self.wall_s, 4),
+            "events": self.events,
+            "ops": self.ops,
+            "events_per_sec": round(self.events_per_sec),
+            "ops_per_sec": round(self.ops_per_sec),
+            "virtual_time": self.virtual_time,
+            "total_msgs": self.total_msgs,
+            "total_bytes": self.total_bytes,
+        }
+
+
+# ---------------------------------------------------------------------------
+# micro benchmarks
+# ---------------------------------------------------------------------------
+def bench_engine_timers(n_events: int) -> BenchResult:
+    """Heap-path dispatch: coroutines sleeping on distinct delays."""
+    from repro.sim.engine import Delay, Engine
+
+    eng = Engine()
+
+    def ticker(k: int, dt: float):
+        for _ in range(k):
+            yield Delay(dt)
+
+    per = max(1, n_events // 8)
+    for i in range(8):
+        eng.spawn(ticker(per, 1e-6 * (i + 1)), name=f"t{i}")
+    t0 = time.perf_counter()
+    eng.run()
+    wall = time.perf_counter() - t0
+    return BenchResult("engine.timers", wall, events=eng.steps)
+
+
+def bench_engine_ready_queue(n_events: int) -> BenchResult:
+    """Immediate-continuation churn: resolved futures and call_soon.
+
+    This is the path the ready queue accelerates: no event in this bench
+    ever advances virtual time, so none of them needs the time heap.
+    """
+    from repro.sim.engine import Engine, Future
+
+    eng = Engine()
+
+    def churner(k: int):
+        for _ in range(k):
+            fut = Future()
+            fut.resolve(1)
+            yield fut
+
+    per = max(1, n_events // 4)
+    for i in range(4):
+        eng.spawn(churner(per), name=f"c{i}")
+    t0 = time.perf_counter()
+    eng.run()
+    wall = time.perf_counter() - t0
+    return BenchResult("engine.ready_queue", wall, events=eng.steps)
+
+
+def bench_vclock(n_ops: int) -> BenchResult:
+    """Lattice operations on 8-wide clocks (the protocol's common width)."""
+    from repro.dsm.vclock import VClock
+
+    a = VClock((3, 1, 4, 1, 5, 9, 2, 6))
+    b = VClock((2, 7, 1, 8, 2, 8, 1, 8))
+    zero = VClock.zero(8)
+    ops = 0
+    t0 = time.perf_counter()
+    for _ in range(n_ops // 8):
+        c = a.join(b)
+        c.leq(a)
+        a.leq(c)
+        c.meet(b)
+        c.bump(3)
+        c.with_component(5, 40)
+        zero.join(c)
+        c.join(c)
+        ops += 8
+    wall = time.perf_counter() - t0
+    return BenchResult("vclock.lattice", wall, ops=ops)
+
+
+def bench_diff(n_ops: int) -> BenchResult:
+    """compute_diff/apply_diff plus the size accounting of the log layer."""
+    from repro.dsm.diff import apply_diff, compute_diff
+
+    rng = np.random.default_rng(12345)
+    page = rng.integers(0, 255, size=4096, dtype=np.uint8)
+    twin = page.copy()
+    idx = rng.choice(4096, size=256, replace=False)
+    page[idx] ^= 0xFF
+    target = np.zeros(4096, dtype=np.uint8)
+    ops = 0
+    t0 = time.perf_counter()
+    for _ in range(n_ops // 2):
+        d = compute_diff(twin, page)
+        _ = d.size_bytes + d.payload_bytes
+        apply_diff(target, d)
+        ops += 2
+    wall = time.perf_counter() - t0
+    return BenchResult("diff.roundtrip", wall, ops=ops)
+
+
+# ---------------------------------------------------------------------------
+# application benchmarks
+# ---------------------------------------------------------------------------
+def _make_app(app: str, **cfg: Any) -> Any:
+    if app == "counter":
+        from repro.apps.counter import CounterApp, CounterConfig
+
+        return CounterApp(CounterConfig(**cfg))
+    if app == "lu":
+        from repro.apps.lu import LuApp, LuConfig
+
+        return LuApp(LuConfig(**cfg))
+    if app == "water-spatial":
+        from repro.apps.water_spatial import WaterSpatialApp, WaterSpatialConfig
+
+        return WaterSpatialApp(WaterSpatialConfig(**cfg))
+    raise ValueError(f"unknown bench app {app!r}")
+
+
+def run_app_bench(
+    app: str,
+    procs: int,
+    ft: bool,
+    name: Optional[str] = None,
+    profile: bool = False,
+    **cfg: Any,
+) -> BenchResult:
+    """Run one fixed app configuration and measure the simulator."""
+    from repro import DsmCluster, DsmConfig
+    from repro.core import LogOverflowPolicy
+
+    cluster = DsmCluster(
+        DsmConfig(num_procs=procs),
+        ft=ft,
+        policy_factory=lambda pid, fp: LogOverflowPolicy(0.2, fp),
+    )
+    application = _make_app(app, **cfg)
+
+    profile_text = ""
+    if profile:
+        prof = cProfile.Profile()
+        t0 = time.perf_counter()
+        prof.enable()
+        result = cluster.run(application)
+        prof.disable()
+        wall = time.perf_counter() - t0
+        buf = io.StringIO()
+        pstats.Stats(prof, stream=buf).sort_stats("tottime").print_stats(12)
+        profile_text = buf.getvalue()
+    else:
+        t0 = time.perf_counter()
+        result = cluster.run(application)
+        wall = time.perf_counter() - t0
+
+    return BenchResult(
+        name or f"{app}-{'ft' if ft else 'base'}-p{procs}",
+        wall,
+        events=cluster.engine.steps,
+        virtual_time=result.wall_time,
+        total_msgs=result.traffic.total_msgs,
+        total_bytes=result.traffic.total_bytes,
+        profile_text=profile_text,
+    )
+
+
+#: (name, app, procs, ft, config) — fixed so results are comparable
+APP_SUITE: List[Tuple[str, str, int, bool, Dict[str, Any]]] = [
+    ("counter-ft", "counter", 4, True, {"steps": 8, "n_elements": 512}),
+    ("lu-base", "lu", 4, False, {"matrix_size": 96, "block_size": 8}),
+    ("lu-ft", "lu", 4, True, {"matrix_size": 96, "block_size": 8}),
+    (
+        "water-spatial-ft",
+        "water-spatial",
+        8,
+        True,
+        {"n_molecules": 216, "steps": 3},
+    ),
+]
+
+SMOKE_APP_SUITE: List[Tuple[str, str, int, bool, Dict[str, Any]]] = [
+    ("counter-ft", "counter", 4, True, {"steps": 6, "n_elements": 512}),
+    ("lu-base", "lu", 4, False, {"matrix_size": 64, "block_size": 8}),
+]
+
+
+def run_suite(smoke: bool = False, profile: bool = False) -> Dict[str, Any]:
+    """Run the full micro + app suite; returns the structured report."""
+    micro_budget = 20_000 if smoke else 100_000
+    results: List[BenchResult] = [
+        bench_engine_timers(micro_budget),
+        bench_engine_ready_queue(micro_budget),
+        bench_vclock(micro_budget * 2),
+        bench_diff(2_000 if smoke else 10_000),
+    ]
+    apps = SMOKE_APP_SUITE if smoke else APP_SUITE
+    for bench_name, app, procs, ft, cfg in apps:
+        results.append(
+            run_app_bench(app, procs, ft, name=bench_name, profile=profile, **cfg)
+        )
+
+    event_benches = [r for r in results if r.events]
+    total_events = sum(r.events for r in event_benches)
+    total_wall = sum(r.wall_s for r in event_benches)
+    return {
+        "schema": 1,
+        "suite": "core-smoke" if smoke else "core",
+        "host": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+        },
+        "events_per_sec": round(total_events / total_wall) if total_wall else 0,
+        "wall_s": round(sum(r.wall_s for r in results), 4),
+        "benches": [r.as_dict() for r in results],
+        "profiles": {
+            r.name: r.profile_text for r in results if r.profile_text
+        },
+    }
+
+
+# ---------------------------------------------------------------------------
+# reporting / regression gate
+# ---------------------------------------------------------------------------
+def render_report(report: Dict[str, Any]) -> str:
+    from repro.metrics.report import Table
+
+    table = Table(
+        f"repro bench — {report['suite']} suite "
+        f"({report['events_per_sec']:,} events/sec aggregate, "
+        f"{report['wall_s']:.2f} s wall)",
+        ["bench", "wall (s)", "events/sec", "ops/sec", "virtual time (ms)", "msgs"],
+    )
+    for b in report["benches"]:
+        table.add(
+            b["name"],
+            f"{b['wall_s']:.3f}",
+            f"{b['events_per_sec']:,}" if b["events"] else "-",
+            f"{b['ops_per_sec']:,}" if b["ops"] else "-",
+            f"{b['virtual_time'] * 1e3:.3f}" if b["virtual_time"] else "-",
+            b["total_msgs"] or "-",
+        )
+    out = table.render()
+    for name, text in report.get("profiles", {}).items():
+        out += f"\n\nprofile: {name}\n{text}"
+    return out
+
+
+def write_report(path: str, report: Dict[str, Any]) -> Dict[str, Any]:
+    """Record ``report`` as the current ("after") state of ``path``.
+
+    The first measurement ever written becomes the pinned "before"
+    baseline; later writes only replace "after", so the file always
+    documents the speedup since the baseline was taken.
+    """
+    payload: Dict[str, Any] = {}
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            payload = json.load(fh)
+    except (OSError, ValueError):
+        payload = {}
+    slim = {k: v for k, v in report.items() if k != "profiles"}
+    if "before" not in payload:
+        payload["before"] = slim
+    payload["after"] = slim
+    before_eps = payload["before"].get("events_per_sec") or 0
+    payload["speedup_events_per_sec"] = (
+        round(slim["events_per_sec"] / before_eps, 3) if before_eps else None
+    )
+    payload["recorded"] = time.strftime("%Y-%m-%d", time.gmtime())
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+    return payload
+
+
+def check_report(
+    path: str, report: Dict[str, Any], budget: float = 0.30
+) -> Tuple[bool, str]:
+    """Perf gate: current events/sec must be within ``budget`` of baseline.
+
+    Compares against the committed "after" numbers (the perf state the
+    repo claims); returns (ok, human-readable message).
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            payload = json.load(fh)
+    except OSError as exc:
+        return False, f"no baseline at {path}: {exc}"
+    baseline = (payload.get("after") or payload.get("before") or {}).get(
+        "events_per_sec"
+    )
+    if not baseline:
+        return False, f"baseline {path} has no events_per_sec"
+    current = report["events_per_sec"]
+    floor = baseline * (1.0 - budget)
+    msg = (
+        f"events/sec current={current:,} baseline={baseline:,} "
+        f"floor={floor:,.0f} (budget {budget:.0%})"
+    )
+    return current >= floor, msg

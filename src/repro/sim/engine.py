@@ -17,14 +17,28 @@ generator, so deep call stacks of DSM operations need no threads and the
 whole simulation is single-threaded and deterministic — a run is a pure
 function of its configuration. Determinism is what makes the paper's
 piece-wise-deterministic replay (§4.3) testable.
+
+Fast path
+---------
+Events are plain ``(time, seq, fn)`` tuples ordered by ``(time, seq)``;
+``seq`` is a single global counter, so events at equal times fire in
+scheduling order. Events scheduled *at the current instant*
+(``call_soon``, zero delays, resolved-``Future`` continuations) go to a
+FIFO **ready queue** instead of the time heap: appends happen at
+non-decreasing ``(time, seq)``, so the deque is always sorted and the
+main loop can merge it with the heap by comparing heads — one tuple
+comparison instead of an O(log n) heap push + pop per immediate step.
+Consecutive ready continuations therefore trampoline through the deque
+without ever touching ``heapq``, while the merged execution order stays
+bit-identical to a single (time, seq) priority queue.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
-from dataclasses import dataclass, field
-from typing import Any, Callable, Generator, Iterator, List, Optional, Tuple
+from collections import deque
+from functools import partial
+from typing import Any, Callable, Deque, Generator, Iterator, List, Optional, Tuple
 
 __all__ = [
     "Delay",
@@ -44,15 +58,24 @@ class SimProcessKilled(Exception):
     """Thrown into a coroutine when its process is fail-stopped."""
 
 
-@dataclass(frozen=True)
 class Delay:
     """Effect: resume the yielding coroutine after ``seconds`` of sim time."""
 
-    seconds: float
+    __slots__ = ("seconds",)
 
-    def __post_init__(self) -> None:
-        if self.seconds < 0:
-            raise ValueError(f"negative delay: {self.seconds}")
+    def __init__(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError(f"negative delay: {seconds}")
+        self.seconds = seconds
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Delay({self.seconds!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Delay) and self.seconds == other.seconds
+
+    def __hash__(self) -> int:
+        return hash((Delay, self.seconds))
 
 
 class Future:
@@ -102,11 +125,15 @@ class Future:
 
 Coroutine = Generator[Any, Any, Any]
 
+#: an engine event: (time, seq, fn) — seq is globally unique, so tuple
+#: comparison never reaches the (uncomparable) callable
+_Event = Tuple[float, int, Callable[[], None]]
+
 
 class SimProcess:
     """Handle for a spawned coroutine; supports fail-stop kills."""
 
-    __slots__ = ("gen", "name", "alive", "done", "result", "engine")
+    __slots__ = ("gen", "name", "alive", "done", "result", "engine", "_resume")
 
     def __init__(self, engine: "Engine", gen: Coroutine, name: str) -> None:
         self.engine = engine
@@ -115,6 +142,8 @@ class SimProcess:
         self.alive = True
         self.done = False
         self.result: Any = None
+        #: preallocated no-value continuation (Delay resumes, first step)
+        self._resume: Callable[[], None] = partial(engine._step, self, None)
 
     def kill(self) -> None:
         """Fail-stop this process: it never runs again.
@@ -139,13 +168,6 @@ class SimProcess:
         return f"<SimProcess {self.name} {state}>"
 
 
-@dataclass(order=True)
-class _Event:
-    time: float
-    seq: int
-    fn: Callable[[], None] = field(compare=False)
-
-
 class Engine:
     """Virtual-clock event loop.
 
@@ -156,8 +178,9 @@ class Engine:
 
     def __init__(self) -> None:
         self.now: float = 0.0
-        self._queue: List[_Event] = []
-        self._seq = itertools.count()
+        self._queue: List[_Event] = []  # time heap (delay > 0)
+        self._ready: Deque[_Event] = deque()  # FIFO, sorted by (time, seq)
+        self._seq = 0
         self._processes: List[SimProcess] = []
         self.steps: int = 0
 
@@ -168,11 +191,18 @@ class Engine:
         """Run ``fn()`` after ``delay`` seconds of virtual time."""
         if delay < 0:
             raise ValueError(f"negative delay: {delay}")
-        heapq.heappush(self._queue, _Event(self.now + delay, next(self._seq), fn))
+        seq = self._seq
+        self._seq = seq + 1
+        if delay == 0.0:
+            self._ready.append((self.now, seq, fn))
+        else:
+            heapq.heappush(self._queue, (self.now + delay, seq, fn))
 
     def call_soon(self, fn: Callable[[], None]) -> None:
         """Run ``fn()`` at the current virtual time, after pending work."""
-        self.schedule(0.0, fn)
+        seq = self._seq
+        self._seq = seq + 1
+        self._ready.append((self.now, seq, fn))
 
     # ------------------------------------------------------------------
     # coroutine trampoline
@@ -181,27 +211,42 @@ class Engine:
         """Start driving a coroutine; returns its process handle."""
         proc = SimProcess(self, gen, name)
         self._processes.append(proc)
-        self.call_soon(lambda: self._step(proc, None, first=True))
+        self.call_soon(proc._resume)
         return proc
 
-    def _step(self, proc: SimProcess, value: Any, first: bool = False) -> None:
+    def _step(self, proc: SimProcess, value: Any) -> None:
         if not proc.alive or proc.done:
             return
         try:
-            effect = proc.gen.send(None if first else value)
+            effect = proc.gen.send(value)
         except StopIteration as stop:
             proc.done = True
             proc.result = stop.value
             return
-        self._handle_effect(proc, effect)
+        # inline effect dispatch (the hottest call site in the simulator)
+        if type(effect) is Delay:
+            self.schedule(effect.seconds, proc._resume)
+        elif isinstance(effect, Future):
+            if effect._resolved:
+                self.call_soon(partial(self._step, proc, effect._value))
+            else:
+                effect._waiters.append(partial(self._future_step, proc))
+        elif isinstance(effect, Delay):
+            self.schedule(effect.seconds, proc._resume)
+        else:
+            raise SimulationError(
+                f"process {proc.name} yielded unsupported effect {effect!r}"
+            )
+
+    def _future_step(self, proc: SimProcess, value: Any) -> None:
+        self.call_soon(partial(self._step, proc, value))
 
     def _handle_effect(self, proc: SimProcess, effect: Any) -> None:
+        """Schedule ``proc``'s continuation for ``effect`` (compat shim)."""
         if isinstance(effect, Delay):
-            self.schedule(effect.seconds, lambda: self._step(proc, None))
+            self.schedule(effect.seconds, proc._resume)
         elif isinstance(effect, Future):
-            effect.add_callback(
-                lambda v: self.call_soon(lambda: self._step(proc, v))
-            )
+            effect.add_callback(partial(self._future_step, proc))
         else:
             raise SimulationError(
                 f"process {proc.name} yielded unsupported effect {effect!r}"
@@ -210,42 +255,67 @@ class Engine:
     # ------------------------------------------------------------------
     # main loop
     # ------------------------------------------------------------------
-    def run(self, until: Optional[float] = None, max_steps: int = 500_000_000) -> float:
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_steps: int = 500_000_000,
+        stop: Optional[Callable[[], bool]] = None,
+    ) -> float:
         """Process events until the queue drains or ``until`` is reached.
 
-        Returns the final virtual time.
+        ``stop`` (when given) is evaluated before every event; the loop
+        exits as soon as it returns True. Returns the final virtual time.
         """
-        while self._queue:
-            if until is not None and self._queue[0].time > until:
-                self.now = until
-                return self.now
-            ev = heapq.heappop(self._queue)
-            if ev.time < self.now - 1e-12:
-                raise SimulationError("time went backwards")
-            self.now = max(self.now, ev.time)
-            ev.fn()
-            self.steps += 1
-            if self.steps > max_steps:
-                raise SimulationError(
-                    f"exceeded {max_steps} events; suspected livelock at t={self.now}"
-                )
+        heap = self._queue
+        ready = self._ready
+        steps = self.steps
+        try:
+            while ready or heap:
+                if stop is not None and stop():
+                    break
+                # merge the sorted ready FIFO with the time heap: both are
+                # ordered by (time, seq), so comparing heads reproduces the
+                # exact total order of a single priority queue
+                if not ready:
+                    ev = heap[0]
+                    from_heap = True
+                elif heap and heap[0] < ready[0]:
+                    ev = heap[0]
+                    from_heap = True
+                else:
+                    ev = ready[0]
+                    from_heap = False
+                t = ev[0]
+                if until is not None and t > until:
+                    self.now = until
+                    return until
+                if from_heap:
+                    heapq.heappop(heap)
+                else:
+                    ready.popleft()
+                if t > self.now:
+                    self.now = t
+                elif t < self.now - 1e-12:
+                    raise SimulationError("time went backwards")
+                ev[2]()
+                steps += 1
+                if steps > max_steps:
+                    raise SimulationError(
+                        f"exceeded {max_steps} events; suspected livelock "
+                        f"at t={self.now}"
+                    )
+        finally:
+            self.steps = steps
         return self.now
 
     def run_until_done(
         self, procs: List[SimProcess], max_steps: int = 500_000_000
     ) -> float:
         """Run until every process in ``procs`` has finished or been killed."""
-        while self._queue:
-            if all(p.done or not p.alive for p in procs):
-                break
-            ev = heapq.heappop(self._queue)
-            self.now = max(self.now, ev.time)
-            ev.fn()
-            self.steps += 1
-            if self.steps > max_steps:
-                raise SimulationError(
-                    f"exceeded {max_steps} events; suspected livelock at t={self.now}"
-                )
+        self.run(
+            max_steps=max_steps,
+            stop=lambda: all(p.done or not p.alive for p in procs),
+        )
         pending = [p.name for p in procs if not p.done and p.alive]
         if pending:
             raise SimulationError(
@@ -259,7 +329,7 @@ def sleep(seconds: float) -> Iterator[Any]:
     yield Delay(seconds)
 
 
-def gather(engine: Engine, futures: List[Future], label: str = "gather") -> Future:
+def gather(futures: List[Future], label: str = "gather") -> Future:
     """Return a future resolving (to the list of values) when all inputs do."""
     out = Future(label)
     remaining = [len(futures)]

@@ -109,6 +109,9 @@ class Network:
         self._handlers: Dict[int, Handler] = {}
         # FIFO enforcement: earliest admissible delivery time per channel
         self._channel_clear: Dict[Tuple[int, int], float] = defaultdict(float)
+        # (latency, byte_time) per channel; config is frozen so link() is
+        # pure and can be memoized
+        self._links: Dict[Tuple[int, int], Tuple[float, float]] = {}
         #: epoch counter: a flush invalidates every in-flight message
         self.epoch = 0
 
@@ -139,9 +142,12 @@ class Network:
             raise ValueError(f"bad sizes: size={size} ft_bytes={ft_bytes}")
         self.traffic.record(category, size, ft_bytes)
         now = self.engine.now
-        latency, byte_time = self.config.link(src, dst)
-        arrival = now + latency + size * byte_time
         key = (src, dst)
+        link = self._links.get(key)
+        if link is None:
+            link = self._links[key] = self.config.link(src, dst)
+        latency, byte_time = link
+        arrival = now + latency + size * byte_time
         # FIFO per channel: a later send never overtakes an earlier one.
         arrival = max(arrival, self._channel_clear[key])
         self._channel_clear[key] = arrival

@@ -108,11 +108,13 @@ class CpuModel:
         """Charge accumulated handler debt to OVERHEAD; yields the delay."""
         debt, self.handler_debt = self.handler_debt, 0.0
         if debt > 0:
-            self.stats.add(TimeBucket.OVERHEAD, debt)
+            self.stats.seconds[TimeBucket.OVERHEAD] += debt
             yield Delay(debt)
 
     def charge(self, bucket: TimeBucket, seconds: float) -> Iterator[Delay]:
         """Charge ``seconds`` to ``bucket``, advancing virtual time."""
-        self.stats.add(bucket, seconds)
+        if seconds < 0:
+            raise ValueError(f"negative time charge: {seconds}")
+        self.stats.seconds[bucket] += seconds
         if seconds > 0:
             yield Delay(seconds)

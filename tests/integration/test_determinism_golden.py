@@ -1,0 +1,97 @@
+"""Golden determinism tests for the simulation fast path.
+
+The paper's results are only as good as the simulator's determinism: a
+run must be a pure function of its configuration, and performance work
+on the hot path (ready-queue engine, interned vector clocks, zero-copy
+pages) must not perturb a single virtual timestamp or traffic counter.
+
+Two layers of protection:
+
+* *run-to-run*: the same configuration executed twice in one process
+  yields bit-identical results;
+* *golden pins*: final virtual times (as exact float hex) and traffic
+  counters recorded **before** the fast-path optimizations landed; any
+  drift means an optimization changed simulation semantics, not just
+  speed.
+"""
+
+import pytest
+
+from tests.conftest import make_app, make_cluster
+
+#: exact pre-optimization values for (app, procs=4, ft) configurations;
+#: wall times are pinned as float hex so comparison is bit-identical
+GOLDEN = {
+    ("lu", False): {
+        "wall_time_hex": "0x1.610937ad9b121p-6",
+        "total_bytes": 754870,
+        "total_msgs": 1590,
+        "bytes_by_category": {"barrier": 38784, "diff": 167398, "page": 548688},
+        "msgs_by_category": {"barrier": 144, "diff": 480, "page": 966},
+    },
+    ("lu", True): {
+        "wall_time_hex": "0x1.d171b9726ea41p-4",
+        "total_bytes": 761066,
+        "total_msgs": 1586,
+        "bytes_by_category": {"barrier": 39756, "diff": 167596, "page": 553714},
+        "msgs_by_category": {"barrier": 144, "diff": 480, "page": 962},
+    },
+    ("counter", False): {
+        "wall_time_hex": "0x1.f58cedc7fd695p-9",
+        "total_bytes": 54398,
+        "total_msgs": 162,
+        "bytes_by_category": {
+            "barrier": 2912, "diff": 586, "lock": 2052, "page": 48848,
+        },
+        "msgs_by_category": {"barrier": 36, "diff": 9, "lock": 31, "page": 86},
+    },
+    ("counter", True): {
+        "wall_time_hex": "0x1.1afb915b5c9cdp-5",
+        "total_bytes": 57240,
+        "total_msgs": 169,
+        "bytes_by_category": {
+            "barrier": 2984, "diff": 630, "lock": 2838, "page": 50788,
+        },
+        "msgs_by_category": {"barrier": 36, "diff": 9, "lock": 36, "page": 88},
+    },
+}
+
+
+def run_once(app_name: str, ft: bool):
+    cluster = make_cluster(4, ft=ft)
+    result = cluster.run(make_app(app_name))
+    traffic = result.traffic
+    return {
+        "wall_time_hex": result.wall_time.hex(),
+        "total_bytes": traffic.total_bytes,
+        "total_msgs": traffic.total_msgs,
+        "bytes_by_category": dict(sorted(traffic.bytes_by_category.items())),
+        "msgs_by_category": dict(sorted(traffic.msgs_by_category.items())),
+    }
+
+
+@pytest.mark.parametrize("app_name", ["lu", "counter"])
+@pytest.mark.parametrize("ft", [False, True], ids=["base", "ft"])
+def test_matches_pre_optimization_golden(app_name, ft):
+    assert run_once(app_name, ft) == GOLDEN[(app_name, ft)]
+
+
+@pytest.mark.parametrize("app_name", ["lu", "counter"])
+def test_run_to_run_identical(app_name):
+    assert run_once(app_name, True) == run_once(app_name, True)
+
+
+@pytest.mark.parametrize("profile", [False, True], ids=["plain", "profiled"])
+def test_bench_runs_deterministic_across_profile(profile):
+    """The bench harness reports identical simulations with --profile on/off."""
+    from repro.metrics.bench import run_app_bench
+
+    results = {
+        p: run_app_bench("counter", procs=4, ft=True, profile=p)
+        for p in (False, profile)
+    }
+    a, b = results[False], results[profile]
+    assert a.virtual_time.hex() == b.virtual_time.hex()
+    assert a.total_msgs == b.total_msgs
+    assert a.total_bytes == b.total_bytes
+    assert a.events == b.events

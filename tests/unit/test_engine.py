@@ -230,9 +230,8 @@ def test_sleep_helper():
 
 
 def test_gather_resolves_when_all_do():
-    eng = Engine()
     futs = [Future(str(i)) for i in range(3)]
-    out = gather(eng, futs)
+    out = gather(futs)
     futs[1].resolve("b")
     assert not out.resolved
     futs[0].resolve("a")
@@ -242,8 +241,7 @@ def test_gather_resolves_when_all_do():
 
 
 def test_gather_empty_resolves_immediately():
-    eng = Engine()
-    out = gather(eng, [])
+    out = gather([])
     assert out.resolved and out.value == []
 
 
@@ -263,3 +261,93 @@ def test_determinism_same_schedule_same_trace():
         return trace
 
     assert build() == build()
+
+
+# ---------------------------------------------------------------------------
+# ready-queue fast path (the heap/FIFO merge must reproduce the exact
+# total order of a single priority queue)
+# ---------------------------------------------------------------------------
+
+
+def test_ready_queue_and_heap_interleave_by_seq_at_equal_time():
+    """A heap event and a ready event at the same timestamp fire in
+    scheduling (seq) order, not source order."""
+    eng = Engine()
+    order = []
+
+    def a():
+        order.append("a")
+        # lands in the ready FIFO at t=1.0 with a seq AFTER b's
+        eng.call_soon(lambda: order.append("c"))
+
+    eng.schedule(1.0, a)  # heap, seq 0
+    eng.schedule(1.0, lambda: order.append("b"))  # heap, seq 1
+    eng.run()
+    # a ready-first (or heap-first) drain would produce a,c,b / wrong
+    assert order == ["a", "b", "c"]
+
+
+def test_zero_delay_events_fire_before_later_heap_events():
+    eng = Engine()
+    order = []
+    eng.schedule(0.5, lambda: order.append("later"))
+    eng.schedule(0.0, lambda: order.append("now1"))
+    eng.call_soon(lambda: order.append("now2"))
+    eng.run()
+    assert order == ["now1", "now2", "later"]
+    assert eng.now == 0.5
+
+
+def test_already_resolved_future_resumes_after_pending_ready_events():
+    """The resolved-before-wait fast path queues the continuation rather
+    than resuming inline, so earlier zero-delay work still runs first."""
+    eng = Engine()
+    order = []
+    fut = Future("pre")
+    fut.resolve(42)
+
+    def proc():
+        order.append("start")
+        got = yield fut
+        order.append(("resumed", got, eng.now))
+
+    eng.spawn(proc())
+    eng.call_soon(lambda: order.append("queued"))
+    eng.run()
+    assert order == ["start", "queued", ("resumed", 42, 0.0)]
+
+
+def test_kill_process_sitting_in_ready_queue():
+    """kill() of a process whose continuation is already in the ready
+    FIFO must prevent it from ever running."""
+    eng = Engine()
+    ran = []
+
+    def victim():
+        ran.append("victim")
+        yield Delay(1.0)
+
+    proc = eng.spawn(victim())  # first step queued via call_soon
+    proc.kill()
+    eng.run()
+    assert ran == []
+    assert not proc.alive and not proc.done
+
+
+def test_kill_process_with_queued_future_continuation():
+    eng = Engine()
+    ran = []
+    fut = Future()
+
+    def victim():
+        yield fut
+        ran.append("resumed")
+
+    proc = eng.spawn(victim())
+    # at t=1.0 the resolve queues victim's continuation with a seq later
+    # than the kill callback's, so the kill fires first and the queued
+    # continuation must be a no-op
+    eng.schedule(1.0, lambda: fut.resolve("v"))
+    eng.schedule(1.0, lambda: proc.kill())
+    eng.run()
+    assert ran == []

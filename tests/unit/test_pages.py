@@ -98,3 +98,20 @@ def test_config_validation():
     c = DsmConfig(num_procs=4)
     assert c.lock_manager(6) == 2
     assert c.vt_bytes() == 16
+
+
+def test_set_home_rejected_after_seal():
+    rs = RegionSet(cfg(home_policy="explicit"))
+    r = rs.allocate("a", 64)
+    r.set_home(0, 3)  # legal: sharing has not started
+    rs.seal()
+    with pytest.raises(RuntimeError, match="sealed"):
+        r.set_home(0, 1)
+    assert r.home_of(0) == 3  # placement unchanged by the rejected call
+
+
+def test_set_home_unowned_region_is_unrestricted():
+    # a bare SharedRegion (no RegionSet) has no seal to enforce
+    r = SharedRegion(0, "r", 64, "float64", cfg(home_policy="explicit"))
+    r.set_home(1, 2)
+    assert r.home_of(1) == 2
