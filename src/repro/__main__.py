@@ -7,6 +7,7 @@ Examples::
     python -m repro counter --ft --coordinated --wan 5e-3 --trace lock,ckpt
     python -m repro tables --scale smoke
     python -m repro bench --smoke --check
+    python -m repro crashsweep counter --every 40 --classes lock,ckpt_write
 """
 
 from __future__ import annotations
@@ -159,7 +160,102 @@ def make_cluster(args: argparse.Namespace) -> DsmCluster:
     )
 
 
+def build_crashsweep_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="python -m repro crashsweep",
+        description="Crash-point sweep fault-injection campaign: enumerate "
+        "crash points of a traced failure-free run, re-run the app once "
+        "per point, and assert the recovery-equivalence oracle.",
+    )
+    p.add_argument("app", choices=[a for a in APPS if a not in ("tables", "bench")])
+    p.add_argument("--procs", type=int, default=4, help="cluster size (default 4)")
+    p.add_argument("--steps", type=int, default=None, help="application steps")
+    p.add_argument("--size", type=int, default=None, help="problem size")
+    p.add_argument("--l", type=float, default=0.1, help="OF policy L fraction")
+    p.add_argument(
+        "--every", type=int, default=25,
+        help="crash after every Nth traced protocol event (default 25)",
+    )
+    p.add_argument(
+        "--classes", default=",".join(sweep_classes()),
+        help="comma-separated crash-point classes "
+        f"(default: {','.join(sweep_classes())})",
+    )
+    p.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="summary JSON path (default benchmarks/SWEEP_<app>.json)",
+    )
+    p.add_argument("-v", "--verbose", action="store_true",
+                   help="print one line per injected run")
+    return p
+
+
+def sweep_classes() -> tuple:
+    from repro.faultinject import campaign
+
+    return campaign.CLASSES
+
+
+def run_crashsweep(argv: list) -> int:
+    import json
+
+    from repro.faultinject import CrashSweep
+
+    args = build_crashsweep_parser().parse_args(argv)
+    ns = argparse.Namespace(
+        procs=args.procs, ft=True, coordinated=False, wan=None, l=args.l
+    )
+    sweep = CrashSweep(
+        cluster_factory=lambda: make_cluster(ns),
+        app_factory=lambda: make_app(args.app, args.steps, args.size),
+        every=args.every,
+        classes=tuple(args.classes.split(",")),
+    )
+
+    t0 = time.time()
+
+    def progress(res) -> None:
+        if args.verbose:
+            p = res.point
+            base = f" base=p{p.base[1]}@{p.base[0]}" if p.base else ""
+            print(
+                f"  {p.cls:<10} p{p.victim}@{p.step}{base}: {res.outcome}"
+                + (f" ({res.error})" if res.error else "")
+            )
+
+    summary = sweep.run(progress=progress)
+    host_s = time.time() - t0
+
+    print(f"crash sweep   {args.app} on {args.procs} simulated nodes "
+          f"({len(summary.results)} points, {host_s:.1f}s host time)")
+    print(summary.render())
+    for note in summary.notes:
+        print(f"note: {note}")
+
+    out = args.out or f"benchmarks/SWEEP_{args.app}.json"
+    payload = summary.to_dict(app=args.app, procs=args.procs)
+    with open(out, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"written to {out}")
+    if not summary.ok:
+        for r in summary.results:
+            if r.outcome == "failed" or (
+                r.outcome == "degraded" and r.point.cls != "recovery"
+            ):
+                print(
+                    f"FAIL {r.point.cls} p{r.point.victim}@{r.point.step}: "
+                    f"{r.error}", file=sys.stderr,
+                )
+        return 1
+    return 0
+
+
 def main(argv: Optional[list] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "crashsweep":
+        return run_crashsweep(argv[1:])
     args = build_parser().parse_args(argv)
 
     if args.app == "bench":

@@ -62,6 +62,16 @@ class ProcHost:
         self.recovery_mgr: Any = None
         #: app-done flag (kept across crash/recovery incarnations)
         self.finished = False
+        #: virtual time of the most recent fail-stop (-1: never crashed)
+        self.last_crash_time = -1.0
+        #: monotonic recovery-query ids; host-level (not per incarnation)
+        #: so replies to a killed recovery cannot collide with a restarted
+        #: one's queries
+        self._qid_counter = 0
+
+    def next_qid(self) -> int:
+        self._qid_counter += 1
+        return self._qid_counter
 
     # ------------------------------------------------------------------
     def make_protocol(self) -> DsmProcess:
@@ -159,6 +169,12 @@ class DsmCluster:
         #: or "rollback" (coordinated baseline: everyone restarts from
         #: the last global cut)
         self.recovery_style = "independent"
+        #: optional probe consumer (tracer / fault-injection campaign):
+        #: called as probe(pid, kind, detail) at instrumented points
+        self.probe: Optional[Callable[[int, str, str], None]] = None
+        #: recovery queries held because the responder was down (§4.3
+        #: overlapping-failure message-hold path)
+        self.held_recovery_msgs = 0
 
     # ------------------------------------------------------------------
     # setup
@@ -176,6 +192,18 @@ class DsmCluster:
         if not self.ft_enabled:
             raise RuntimeError("cannot recover from crashes without FT enabled")
         self._crash_schedule.append((at_time, pid))
+
+    def schedule_crash_at_step(self, pid: int, step: int) -> None:
+        """Fail-stop ``pid`` right after engine event ``step`` executes.
+
+        Event-indexed injection is the crash-sweep primitive: unlike a
+        virtual-time point, a step index names one exact position in the
+        deterministic event order, so a sweep can enumerate *every*
+        reachable crash point of a reference run.
+        """
+        if not self.ft_enabled:
+            raise RuntimeError("cannot recover from crashes without FT enabled")
+        self.engine.break_at_step(step, lambda: self.crash(pid))
 
     # ------------------------------------------------------------------
     # run
@@ -246,21 +274,71 @@ class DsmCluster:
         pending = [h.pid for h in self.hosts if not h.finished]
         if pending:
             raise RuntimeError(
-                f"deadlock: event queue drained, processes not finished: {pending}"
+                f"deadlock: event queue drained, processes not finished: "
+                f"{pending}\n{self.host_diagnostics()}"
             )
+
+    def host_diagnostics(self) -> str:
+        """Per-host liveness/wait state, for debuggable deadlock reports."""
+        lines = []
+        for h in self.hosts:
+            parts = [
+                f"p{h.pid}:",
+                f"live={h.live}",
+                f"recovering={h.recovering}",
+                f"finished={h.finished}",
+                f"crashes={h.crashed_count}",
+                f"recoveries={h.recovered_count}",
+                f"queued={len(h.queued)}",
+            ]
+            p = h.proto
+            if p is not None:
+                if p._lock_waiting:
+                    parts.append(f"lock_waits={sorted(p._lock_waiting)}")
+                if p._fetch_waiting:
+                    parts.append(
+                        f"fetch_waits={sorted(tuple(k) for k in p._fetch_waiting)}"
+                    )
+                if p._home_waiting:
+                    parts.append(
+                        f"home_waits={sorted(tuple(k) for k in p._home_waiting)}"
+                    )
+                if p._pending_arrive is not None:
+                    parts.append(
+                        f"barrier_wait=ep{p._pending_arrive.episode}"
+                    )
+            rm = h.recovery_mgr
+            if rm is not None and rm._pending:
+                parts.append(f"recovery_waits={sorted(rm._pending)}")
+            lines.append("  " + " ".join(parts))
+        return "\n".join(lines)
 
     # ------------------------------------------------------------------
     # failure / recovery orchestration
     # ------------------------------------------------------------------
     def crash(self, pid: int) -> None:
-        """Fail-stop ``pid`` now; recovery starts after the detection delay."""
+        """Fail-stop ``pid`` now; recovery starts after the detection delay.
+
+        Safe at *any* execution point, including while ``pid`` is itself
+        recovering: the recovery coroutine is killed like any other
+        incarnation, its :class:`RecoveryManager` is detached (so replies
+        addressed to the dead incarnation are dropped, not misdelivered),
+        and a fresh recovery starts after the detection delay. Stable
+        state (checkpoint store, peers' held ``queued`` entries) is
+        untouched, so the restarted recovery sees exactly what the first
+        one did.
+        """
         host = self.hosts[pid]
-        if not host.live or host.finished:
-            return  # process already down or already done
+        if host.finished or (not host.live and not host.recovering):
+            return  # already done, or already down awaiting recovery
         self.crashes += 1
         host.crashed_count += 1
+        host.last_crash_time = self.engine.now
         host.live = False
         host.recovering = False
+        # detach the (possibly mid-recovery) manager: stale RecoveryReply
+        # messages in flight must not resolve a dead incarnation's futures
+        host.recovery_mgr = None
         assert host.simproc is not None
         host.simproc.kill()
         # all volatile state dies with the process
@@ -287,7 +365,11 @@ class DsmCluster:
         from repro.core.recovery import RecoveryManager
 
         host = self.hosts[pid]
+        if host.live or host.finished or host.recovering:
+            return  # already back (or a restarted recovery is underway)
         host.recovering = True
+        if self.probe is not None:
+            self.probe(pid, "recovery", f"begin incarnation={host.crashed_count}")
         rm = RecoveryManager(host)
         host.simproc = self.engine.spawn(rm.recover_and_resume(), name=f"rec{pid}")
 
@@ -313,6 +395,7 @@ class DsmCluster:
             # query addressed to a host that is itself down: hold it
             # until that host has recovered (single-fault assumption
             # makes overlap rare; the requester simply blocks, §4.3)
+            self.held_recovery_msgs += 1
             host.queued.append((src, msg))
             return
         host.responder.handle(src, msg)

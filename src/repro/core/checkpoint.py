@@ -94,6 +94,8 @@ class CheckpointManager:
         self.max_window = 1
         self.pages_retained_bytes = 0
         self.pages_discarded_bytes = 0
+        #: torn (uncommitted) checkpoints discarded by recovery
+        self.torn_discarded = 0
 
     # ------------------------------------------------------------------
     # seeding (virtual checkpoint 0)
@@ -107,16 +109,20 @@ class CheckpointManager:
             self.pages_retained_bytes += len(data)
 
     # ------------------------------------------------------------------
-    # taking a checkpoint
+    # taking a checkpoint (two-phase: stage -> disk write -> commit)
     # ------------------------------------------------------------------
-    def commit(
+    def stage(
         self,
         ckpt: Checkpoint,
         homed_pages: Dict[PageId, Tuple[bytes, VClock]],
     ) -> int:
-        """Record a checkpoint; returns the page bytes written.
+        """Start writing a checkpoint to stable storage (no commit marker).
 
-        ``homed_pages`` maps each page homed here to (contents, version).
+        The staged record consumes a seqno and lands in the store as a
+        *pending* key; until :meth:`commit_staged` adds the commit
+        marker, a crash leaves it torn and recovery will discard it
+        (restarting from the previous stable checkpoint). Returns the
+        page bytes that will be written.
         """
         if ckpt.seqno != self.next_seqno:
             raise ValueError(
@@ -125,17 +131,61 @@ class CheckpointManager:
         self.next_seqno += 1
         page_bytes = 0
         for page, (data, version) in homed_pages.items():
+            ckpt.homed_versions[page] = version
+            page_bytes += len(data)
+        self.store.begin_put(("ckpt", ckpt.seqno), ckpt, page_bytes)
+        return page_bytes
+
+    def commit_staged(
+        self,
+        ckpt: Checkpoint,
+        homed_pages: Dict[PageId, Tuple[bytes, VClock]],
+    ) -> None:
+        """The disk write finished: mark the checkpoint stable.
+
+        Only now do the page copies join ``pckp`` and does ``latest``
+        advance — a torn checkpoint must never influence recovery.
+        """
+        if ("ckpt", ckpt.seqno) not in self.store:
+            raise RuntimeError(f"commit of unstaged checkpoint {ckpt.seqno}")
+        for page, (data, version) in homed_pages.items():
             self.page_copies.setdefault(page, []).append(
                 PageCopy(ckpt.seqno, version, data)
             )
-            ckpt.homed_versions[page] = version
-            page_bytes += len(data)
             self.pages_retained_bytes += len(data)
         self.checkpoints[ckpt.seqno] = ckpt
         self.latest = ckpt
-        self.store.put(("ckpt", ckpt.seqno), ckpt, page_bytes)
+        self.store.commit_put(("ckpt", ckpt.seqno))
         self._update_window()
+
+    def commit(
+        self,
+        ckpt: Checkpoint,
+        homed_pages: Dict[PageId, Tuple[bytes, VClock]],
+    ) -> int:
+        """Record a checkpoint atomically; returns the page bytes written.
+
+        ``homed_pages`` maps each page homed here to (contents, version).
+        Convenience wrapper over :meth:`stage` + :meth:`commit_staged`
+        for callers whose write cannot be interrupted (tests, the
+        coordinated baseline).
+        """
+        page_bytes = self.stage(ckpt, homed_pages)
+        self.commit_staged(ckpt, homed_pages)
         return page_bytes
+
+    def discard_torn(self) -> int:
+        """Drop store keys whose commit marker is missing (torn writes).
+
+        Called at the start of recovery: a crash during a checkpoint
+        disk write leaves a marker-less record that must not be used as
+        a restart point. Returns the number of keys discarded.
+        """
+        torn = self.store.pending_keys()
+        for key in torn:
+            self.store.delete(key)
+        self.torn_discarded += len(torn)
+        return len(torn)
 
     def _update_window(self) -> None:
         live = {

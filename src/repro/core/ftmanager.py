@@ -120,7 +120,20 @@ class FtManager(FtHooks):
         self._zero_v: Tuple[int, ...] = VClock.zero(self.n).v
         #: supplies the application's resumable private state
         self.app_state_fn: Callable[[], Any] = lambda: {}
+        #: set by the cluster: the ProcHost we live on (None when the
+        #: manager is driven directly, e.g. in unit tests)
+        self.proc_host: Any = None
         self._install()
+
+    def _probe(self, kind: str, detail: str) -> None:
+        """Emit a cluster probe event (fault-injection instrumentation).
+
+        No-op unless a probe consumer (tracer / crash-sweep campaign) is
+        attached to the cluster — two attribute checks when disabled.
+        """
+        host = self.proc_host
+        if host is not None and host.cluster.probe is not None:
+            host.cluster.probe(self.pid, kind, detail)
 
     def _install(self) -> None:
         self.proc.ft = self
@@ -279,23 +292,29 @@ class FtManager(FtHooks):
         )
 
         # -- stable storage ------------------------------------------------
-        # the disk write happens BEFORE the checkpoint is committed: a
-        # crash during the write must restart from the previous
-        # checkpoint, never from a torn one
-        page_bytes = sum(len(d) for d, _ in homed.values())
+        # two-phase write: the checkpoint record is *staged* (lands on
+        # stable storage without a commit marker), then the disk write
+        # runs, then the marker commits it. A crash during the write
+        # leaves a torn record that recovery detects and discards,
+        # restarting from the previous stable checkpoint.
+        page_bytes = self.ckpt_mgr.stage(ckpt, homed)
         new_log_bytes = self.logs.diff.unsaved_bytes
         total_write = page_bytes + new_log_bytes + len(state_blob)
         t0 = proc.engine.now
         write_cost = self.disk.write_cost(total_write)
         self.disk.bytes_written += total_write
         self.disk.write_time += write_cost
+        self._probe(
+            "ckpt_write", f"begin seqno={seqno} bytes={total_write}"
+        )
         yield from proc.cpu.charge(TimeBucket.LOG_CKPT, write_cost)
+        self._probe("ckpt_write", f"end seqno={seqno}")
         self.stats.time_disk += proc.engine.now - t0
 
-        # -- atomic commit ---------------------------------------------------
+        # -- commit marker ---------------------------------------------------
         self.logs.diff.mark_all_saved()
         self.stats.logs_saved_bytes += new_log_bytes
-        self.ckpt_mgr.commit(ckpt, homed)
+        self.ckpt_mgr.commit_staged(ckpt, homed)
         self.stats.ckpt_page_bytes += page_bytes
         self.stats.ckpt_state_bytes += len(state_blob)
 

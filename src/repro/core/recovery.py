@@ -56,7 +56,24 @@ from repro.dsm.vclock import VClock
 from repro.sim.engine import Future
 from repro.sim.node import TimeBucket
 
-__all__ = ["RecoveryResponder", "RecoveryManager", "ReplayDriver"]
+__all__ = [
+    "OverlappingFailureError",
+    "RecoveryResponder",
+    "RecoveryManager",
+    "ReplayDriver",
+]
+
+
+class OverlappingFailureError(RuntimeError):
+    """A second failure overlapped this recovery in an unrecoverable way.
+
+    The protocol's volatile rel/acq logs are *not* part of checkpoints —
+    they are rebuilt from peers' mirrors during the handshake. If a peer
+    we depend on failed at-or-after our own crash, its mirrors may no
+    longer cover what our replay needs, and proceeding could silently
+    diverge. The paper assumes single failures (§2); we detect the
+    violated assumption and fail loudly instead of hanging or diverging.
+    """
 
 REL_ENTRY_WIRE = 40  # lock id + vt, modeled
 NOTICE_WIRE = 16
@@ -102,6 +119,8 @@ class RecoveryResponder:
             payload=payload,
             payload_size=size,
             qid=query.qid,
+            responder_crash_time=self.host.last_crash_time,
+            responder_recovering=self.host.recovering,
         )
         self.host.proto.cpu.accrue_handler(20e-6)
         self.host.cluster.send(self.host.pid, src, reply)
@@ -196,13 +215,17 @@ class RecoveryManager:
         self.host = host
         self.cluster = host.cluster
         self.pid = host.pid
-        self._qid = 0
+        #: when the incarnation this manager recovers crashed; replies
+        #: from peers that failed at-or-after this instant signal overlap
+        self.crash_time = host.last_crash_time
         self._pending: Dict[int, Future] = {}
 
     # -- query plumbing -------------------------------------------------
     def query(self, dst: int, kind: str, detail: Any = None) -> Iterator[Any]:
-        self._qid += 1
-        qid = self._qid
+        # qids are host-level monotonic: a restarted recovery must never
+        # reuse a qid a killed incarnation has in flight, or a stale
+        # reply could resolve the wrong future
+        qid = self.host.next_qid()
         fut = Future(f"recovery {kind} -> {dst}")
         self._pending[qid] = fut
         self.cluster.send(
@@ -211,7 +234,29 @@ class RecoveryManager:
             RecoveryQuery(kind=kind, requester=self.pid, detail=detail, qid=qid),
         )
         reply: RecoveryReply = yield fut
+        self._check_overlap(reply)
         return reply.payload
+
+    def _check_overlap(self, reply: RecoveryReply) -> None:
+        # Only the *ordering* of the failures matters. A responder that
+        # crashed strictly before us rebuilt (or is rebuilding) its logs
+        # from mirrors recorded while we were still alive, and queries it
+        # cannot yet answer are held until it can — that interleaving is
+        # the workable mutual-recovery dance. A responder that failed
+        # at-or-after us lost the very mirrors our replay depends on, and
+        # its own rebuild cannot reach us for them (we are down): that is
+        # the unrecoverable overlap.
+        if (
+            reply.responder_crash_time >= 0
+            and reply.responder_crash_time >= self.crash_time
+        ):
+            raise OverlappingFailureError(
+                f"recovery of p{self.pid} (crashed t={self.crash_time:.6f}) "
+                f"depends on p{reply.responder}, which failed at "
+                f"t={reply.responder_crash_time:.6f} — its volatile logs "
+                "may no longer cover this replay (overlapping failures "
+                "exceed the single-fault model, §2)"
+            )
 
     def query_all(self, kind: str, detail: Any = None) -> Iterator[Any]:
         """Query every live peer; returns {pid: payload}."""
@@ -241,6 +286,12 @@ class RecoveryManager:
         host.proto = proto
         cluster._install_ft(host)  # fresh FtManager over the surviving store
         ft: FtManager = host.ft
+
+        # a crash during a checkpoint disk write leaves a marker-less
+        # (torn) record on stable storage; it must not be a restart point
+        torn = host.ckpt_mgr.discard_torn()
+        if torn and cluster.probe is not None:
+            cluster.probe(self.pid, "recovery", f"discarded_torn n={torn}")
 
         ckpt: Optional[Checkpoint] = host.ckpt_mgr.restart_checkpoint()
         if ckpt is not None:
@@ -295,6 +346,8 @@ class RecoveryManager:
         host.live = True
         cluster.recoveries += 1
         host.recovered_count += 1
+        if cluster.probe is not None:
+            cluster.probe(self.pid, "recovery", "live")
         for j in range(cluster.config.num_procs):
             if j != self.pid:
                 cluster.send(self.pid, j, RecoveryDone(proc=self.pid))

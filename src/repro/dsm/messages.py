@@ -263,13 +263,22 @@ class RecoveryQuery(Message):
 
 @dataclass
 class RecoveryReply(Message):
-    """Peer -> recovering process: requested log entries / page copies."""
+    """Peer -> recovering process: requested log entries / page copies.
+
+    ``responder_crash_time`` / ``responder_recovering`` expose the
+    responder's failure epoch so the recovering side can detect an
+    *overlapping* failure (the responder failed after the requester, so
+    its volatile logs may no longer cover what replay needs) and degrade
+    with a clean diagnostic instead of silently diverging.
+    """
 
     kind: str = ""
     responder: int = 0
     payload: object = None
     payload_size: int = 0
     qid: int = 0
+    responder_crash_time: float = -1.0
+    responder_recovering: bool = False
     category: str = "recovery"
 
     def payload_bytes(self, config: DsmConfig) -> int:

@@ -1,0 +1,442 @@
+"""Crash-point enumeration, injection runs and the recovery oracle.
+
+A sweep is three phases:
+
+1. **Reference run** — failure-free, with a :class:`Tracer` recording
+   every protocol event *with its engine step index*. Determinism makes
+   ``(victim, step)`` a complete name for a crash point: any re-run with
+   the same configs executes the identical event order up to the
+   injection.
+2. **Enumeration** — every Nth traced event, plus targeted classes:
+   mid lock transfer, mid barrier, during a checkpoint disk write
+   (between the ``ckpt_write begin``/``end`` probes), and — from a
+   second, single-crash discovery run — during another node's recovery.
+3. **Injection runs** — one fresh cluster per point with
+   ``schedule_crash_at_step``; each must satisfy :func:`check_oracle`
+   (recovery equivalence) or raise
+   :class:`~repro.core.recovery.OverlappingFailureError` (explicit
+   degradation, acceptable only for the ``recovery`` class).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.core.recovery import OverlappingFailureError
+from repro.sim.trace import Tracer
+
+__all__ = [
+    "CLASSES",
+    "CrashPoint",
+    "PointResult",
+    "SweepSummary",
+    "OracleViolation",
+    "CrashSweep",
+    "check_oracle",
+]
+
+CLASSES = ("every", "lock", "barrier", "ckpt_write", "recovery")
+
+#: window fractions probed for crashes inside another node's recovery
+RECOVERY_FRACTIONS = (0.25, 0.5, 0.75)
+
+
+class OracleViolation(AssertionError):
+    """The recovery-equivalence oracle failed for an injected run."""
+
+
+@dataclass(frozen=True)
+class CrashPoint:
+    """One injection target: fail-stop ``victim`` after engine step ``step``.
+
+    ``base`` (step, victim) schedules a *first* crash before this one —
+    used by the ``recovery`` class, whose points live inside the recovery
+    window that the base crash opens.
+    """
+
+    cls: str
+    step: int
+    victim: int
+    base: Optional[Tuple[int, int]] = None
+
+
+@dataclass
+class PointResult:
+    point: CrashPoint
+    outcome: str  # recovered | no_crash | degraded | failed
+    crashes: int = 0
+    recoveries: int = 0
+    error: Optional[str] = None
+
+
+@dataclass
+class SweepSummary:
+    every: int
+    classes: Tuple[str, ...]
+    reference_steps: int
+    reference_events: int
+    reference_wall_time: float
+    results: List[PointResult] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def outcomes(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for r in self.results:
+            out[r.outcome] = out.get(r.outcome, 0) + 1
+        return out
+
+    @property
+    def ok(self) -> bool:
+        """Acceptance: every point recovered (or harmlessly missed), and
+        explicit degradation appears only where a second failure
+        overlapped a recovery."""
+        for r in self.results:
+            if r.outcome == "failed":
+                return False
+            if r.outcome == "degraded" and r.point.cls != "recovery":
+                return False
+        return True
+
+    def to_dict(self, **meta: Any) -> Dict[str, Any]:
+        return {
+            **meta,
+            "every": self.every,
+            "classes": list(self.classes),
+            "reference": {
+                "steps": self.reference_steps,
+                "events": self.reference_events,
+                "wall_time": self.reference_wall_time,
+            },
+            "outcomes": self.outcomes(),
+            "ok": self.ok,
+            "notes": self.notes,
+            "points": [
+                {
+                    "class": r.point.cls,
+                    "step": r.point.step,
+                    "victim": r.point.victim,
+                    "base": list(r.point.base) if r.point.base else None,
+                    "outcome": r.outcome,
+                    "crashes": r.crashes,
+                    "recoveries": r.recoveries,
+                    "error": r.error,
+                }
+                for r in self.results
+            ],
+        }
+
+    def to_json(self, **meta: Any) -> str:
+        return json.dumps(self.to_dict(**meta), indent=2, sort_keys=True)
+
+    def render(self) -> str:
+        per_class: Dict[str, Dict[str, int]] = {}
+        for r in self.results:
+            per_class.setdefault(r.point.cls, {})
+            per_class[r.point.cls][r.outcome] = (
+                per_class[r.point.cls].get(r.outcome, 0) + 1
+            )
+        lines = [
+            f"{'class':<12} {'points':>6} {'recovered':>9} {'no_crash':>8} "
+            f"{'degraded':>8} {'failed':>6}"
+        ]
+        for cls in self.classes:
+            counts = per_class.get(cls, {})
+            lines.append(
+                f"{cls:<12} {sum(counts.values()):>6} "
+                f"{counts.get('recovered', 0):>9} "
+                f"{counts.get('no_crash', 0):>8} "
+                f"{counts.get('degraded', 0):>8} "
+                f"{counts.get('failed', 0):>6}"
+            )
+        lines.append(
+            f"{'total':<12} {len(self.results):>6}   "
+            + ("SWEEP OK" if self.ok else "SWEEP FAILED")
+        )
+        return "\n".join(lines)
+
+
+# ======================================================================
+# the oracle
+# ======================================================================
+
+
+def check_oracle(cluster: Any, reference: Dict[str, bytes]) -> None:
+    """Recovery equivalence: the post-injection run must be observably
+    identical to the failure-free run.
+
+    * every process finished its application main,
+    * final shared-region contents are bit-identical to the reference,
+    * no held messages leaked (``host.queued`` empty everywhere),
+    * stable storage is clean: no torn (marker-less) keys, and the
+      checkpoint window invariants hold (the restart checkpoint is a
+      committed store key; every retained page copy has a live record).
+    """
+    problems: List[str] = []
+    for host in cluster.hosts:
+        if not host.finished:
+            problems.append(f"p{host.pid} did not finish")
+        if host.queued:
+            problems.append(
+                f"p{host.pid} leaked {len(host.queued)} queued message(s)"
+            )
+        if host.store.pending_keys():
+            problems.append(
+                f"p{host.pid} store holds torn keys {host.store.pending_keys()}"
+            )
+        mgr = host.ckpt_mgr
+        if mgr is not None:
+            if mgr.latest is not None:
+                key = ("ckpt", mgr.latest.seqno)
+                if key not in mgr.store or mgr.store.is_pending(key):
+                    problems.append(
+                        f"p{host.pid} restart checkpoint {mgr.latest.seqno} "
+                        "not committed on stable storage"
+                    )
+            for seqno in mgr.retained_seqnos:
+                if seqno != 0 and seqno not in mgr.checkpoints:
+                    problems.append(
+                        f"p{host.pid} retains page copies of checkpoint "
+                        f"{seqno} but lost its record"
+                    )
+    for region in cluster.regions:
+        got = cluster.shared_snapshot(region).tobytes()
+        want = reference.get(region.name)
+        if want is None:
+            problems.append(f"region {region.name!r} missing from reference")
+        elif got != want:
+            diff = sum(1 for a, b in zip(got, want) if a != b)
+            problems.append(
+                f"region {region.name!r} diverged from the failure-free "
+                f"run ({diff} of {len(want)} bytes differ)"
+            )
+    if problems:
+        raise OracleViolation("; ".join(problems))
+
+
+# ======================================================================
+# the campaign
+# ======================================================================
+
+
+class CrashSweep:
+    """Enumerates crash points of one (cluster, app) configuration and
+    re-runs the app once per point.
+
+    ``cluster_factory``/``app_factory`` must build *identically
+    configured* fresh instances each call (determinism is what makes a
+    step index transferable between runs); the cluster must have FT
+    enabled.
+    """
+
+    def __init__(
+        self,
+        cluster_factory: Callable[[], Any],
+        app_factory: Callable[[], Any],
+        every: int = 25,
+        classes: Tuple[str, ...] = CLASSES,
+    ) -> None:
+        unknown = set(classes) - set(CLASSES)
+        if unknown:
+            raise ValueError(f"unknown crash-point classes: {sorted(unknown)}")
+        if every < 1:
+            raise ValueError("--every must be >= 1")
+        self.cluster_factory = cluster_factory
+        self.app_factory = app_factory
+        self.every = every
+        self.classes = tuple(c for c in CLASSES if c in classes)
+        self.reference_snapshots: Dict[str, bytes] = {}
+        self.reference_trace: List[Any] = []
+        self.reference_steps = 0
+        self.reference_wall_time = 0.0
+        self.notes: List[str] = []
+
+    # ------------------------------------------------------------------
+    def run_reference(self) -> None:
+        cluster = self.cluster_factory()
+        if not cluster.ft_enabled:
+            raise RuntimeError("crash sweep requires an FT-enabled cluster")
+        tracer = Tracer(cluster, max_events=1_000_000)
+        result = cluster.run(self.app_factory())
+        if tracer.dropped:
+            raise RuntimeError(
+                f"reference trace overflowed ({tracer.dropped} dropped); "
+                "the sweep would miss crash points"
+            )
+        self.reference_trace = tracer.events
+        self.reference_steps = cluster.engine.steps
+        self.reference_wall_time = result.wall_time
+        self.reference_snapshots = {
+            region.name: cluster.shared_snapshot(region).tobytes()
+            for region in cluster.regions
+        }
+
+    # ------------------------------------------------------------------
+    # enumeration
+    # ------------------------------------------------------------------
+    def enumerate_points(self) -> List[CrashPoint]:
+        if not self.reference_trace:
+            self.run_reference()
+        points: List[CrashPoint] = []
+        seen: set = set()
+
+        def add(cls: str, step: int, victim: int, base=None) -> None:
+            if step < 1:
+                return
+            key = (cls, step, victim, base)
+            if key in seen:
+                return
+            seen.add(key)
+            points.append(CrashPoint(cls, step, victim, base))
+
+        events = [e for e in self.reference_trace if e.step >= 1]
+        if "every" in self.classes:
+            for i in range(0, len(events), self.every):
+                ev = events[i]
+                add("every", ev.step, ev.pid)
+        if "lock" in self.classes:
+            for ev in events:
+                if ev.kind == "lock" and ev.detail.startswith("acquired"):
+                    # just before completion (token in flight) and just after
+                    add("lock", ev.step - 1, ev.pid)
+                    add("lock", ev.step, ev.pid)
+        if "barrier" in self.classes:
+            for ev in events:
+                if ev.kind == "barrier":
+                    add("barrier", ev.step - 1, ev.pid)
+                    add("barrier", ev.step, ev.pid)
+        if "ckpt_write" in self.classes:
+            begins: Dict[Tuple[int, str], int] = {}
+            for ev in events:
+                if ev.kind != "ckpt_write":
+                    continue
+                tag = ev.detail.split()[1]  # "seqno=K"
+                if ev.detail.startswith("begin"):
+                    begins[(ev.pid, tag)] = ev.step
+                elif ev.detail.startswith("end"):
+                    b = begins.pop((ev.pid, tag), None)
+                    if b is None:
+                        continue
+                    # strictly inside the write: after it started, before
+                    # the commit marker lands
+                    mid = max(b, min((b + ev.step) // 2, ev.step - 1))
+                    add("ckpt_write", mid, ev.pid)
+        if "recovery" in self.classes:
+            points.extend(self._recovery_points())
+        return points
+
+    def _recovery_points(self) -> List[CrashPoint]:
+        """Discovery run: one crash mid-reference, then enumerate points
+        inside the recovery window it opens (second-failure class)."""
+        events = [e for e in self.reference_trace if e.step >= 1]
+        if not events:
+            return []
+        anchor = events[int(len(events) * 0.45)]
+        base = (anchor.step, anchor.pid)
+
+        cluster = self.cluster_factory()
+        tracer = Tracer(cluster, kinds={"recovery"}, max_events=1_000_000)
+        cluster.schedule_crash_at_step(anchor.pid, anchor.step)
+        cluster.run(self.app_factory())
+
+        begin = live = None
+        for ev in tracer.events:
+            if ev.pid != anchor.pid:
+                continue
+            if ev.detail.startswith("begin") and begin is None:
+                begin = ev.step
+            elif ev.detail == "live" and begin is not None:
+                live = ev.step
+                break
+        if begin is None or live is None or live <= begin + 1:
+            self.notes.append(
+                f"recovery window for base crash p{anchor.pid}@{anchor.step} "
+                "too narrow; recovery class skipped"
+            )
+            return []
+
+        out: List[CrashPoint] = []
+        other = (anchor.pid + 1) % cluster.config.num_procs
+        for frac in RECOVERY_FRACTIONS:
+            step = begin + max(1, int((live - begin) * frac))
+            if step >= live:
+                step = live - 1
+            # the same victim again: recovery must restart cleanly;
+            # a different victim: overlapping failure, explicit degrade
+            out.append(CrashPoint("recovery", step, anchor.pid, base))
+            out.append(CrashPoint("recovery", step, other, base))
+        # dedup (fractions can collapse on short windows)
+        uniq: List[CrashPoint] = []
+        seen: set = set()
+        for p in out:
+            key = (p.step, p.victim)
+            if key not in seen:
+                seen.add(key)
+                uniq.append(p)
+        return uniq
+
+    # ------------------------------------------------------------------
+    # injection
+    # ------------------------------------------------------------------
+    def run_point(self, point: CrashPoint) -> PointResult:
+        cluster = self.cluster_factory()
+        cluster.schedule_crash_at_step(point.victim, point.step)
+        if point.base is not None:
+            base_step, base_victim = point.base
+            cluster.schedule_crash_at_step(base_victim, base_step)
+        expected_crashes = 1 + (1 if point.base else 0)
+        try:
+            result = cluster.run(self.app_factory())
+        except OverlappingFailureError as exc:
+            return PointResult(
+                point,
+                "degraded",
+                crashes=cluster.crashes,
+                recoveries=cluster.recoveries,
+                error=str(exc),
+            )
+        except Exception as exc:  # deadlock / protocol invariant / oracle
+            return PointResult(
+                point,
+                "failed",
+                crashes=cluster.crashes,
+                recoveries=cluster.recoveries,
+                error=f"{type(exc).__name__}: {exc}",
+            )
+        try:
+            check_oracle(cluster, self.reference_snapshots)
+        except OracleViolation as exc:
+            return PointResult(
+                point,
+                "failed",
+                crashes=result.crashes,
+                recoveries=result.recoveries,
+                error=str(exc),
+            )
+        outcome = (
+            "recovered" if result.crashes >= expected_crashes else "no_crash"
+        )
+        return PointResult(
+            point, outcome, crashes=result.crashes, recoveries=result.recoveries
+        )
+
+    # ------------------------------------------------------------------
+    def run(
+        self, progress: Optional[Callable[[PointResult], None]] = None
+    ) -> SweepSummary:
+        points = self.enumerate_points()
+        summary = SweepSummary(
+            every=self.every,
+            classes=self.classes,
+            reference_steps=self.reference_steps,
+            reference_events=len(self.reference_trace),
+            reference_wall_time=self.reference_wall_time,
+            notes=list(self.notes),
+        )
+        for point in points:
+            res = self.run_point(point)
+            summary.results.append(res)
+            if progress is not None:
+                progress(res)
+        return summary

@@ -183,6 +183,12 @@ class Engine:
         self._seq = 0
         self._processes: List[SimProcess] = []
         self.steps: int = 0
+        #: step-indexed breakpoints for fault injection: sorted
+        #: (step, fn) pairs; fn runs right after the event whose 1-based
+        #: step count equals ``step``. Disabled (the common case) this
+        #: costs one int comparison per event in the main loop.
+        self._breakpoints: List[Tuple[int, Callable[[], None]]] = []
+        self._next_break: int = -1
 
     # ------------------------------------------------------------------
     # event scheduling
@@ -203,6 +209,31 @@ class Engine:
         seq = self._seq
         self._seq = seq + 1
         self._ready.append((self.now, seq, fn))
+
+    def break_at_step(self, step: int, fn: Callable[[], None]) -> None:
+        """Run ``fn()`` right after the ``step``-th event executes.
+
+        The hook for systematic fault injection: events are the finest
+        deterministic granularity of the simulation, so a (victim, step)
+        pair names a reproducible crash point. ``fn`` runs outside any
+        coroutine, with ``self.steps == step`` and the clock at that
+        event's time; it may mutate processes and schedule new events.
+        """
+        if step <= self.steps:
+            raise ValueError(
+                f"breakpoint at step {step} but {self.steps} already executed"
+            )
+        self._breakpoints.append((step, fn))
+        self._breakpoints.sort(key=lambda bp: bp[0])
+        self._next_break = self._breakpoints[0][0]
+
+    def _fire_breakpoints(self) -> None:
+        while self._breakpoints and self._breakpoints[0][0] <= self.steps:
+            _, fn = self._breakpoints.pop(0)
+            fn()
+        self._next_break = (
+            self._breakpoints[0][0] if self._breakpoints else -1
+        )
 
     # ------------------------------------------------------------------
     # coroutine trampoline
@@ -297,8 +328,11 @@ class Engine:
                     self.now = t
                 elif t < self.now - 1e-12:
                     raise SimulationError("time went backwards")
-                ev[2]()
                 steps += 1
+                self.steps = steps
+                ev[2]()
+                if steps == self._next_break:
+                    self._fire_breakpoints()
                 if steps > max_steps:
                     raise SimulationError(
                         f"exceeded {max_steps} events; suspected livelock "

@@ -70,18 +70,54 @@ class CheckpointStore:
     Keys are arbitrary (e.g. ``("ckpt", seqno)`` or ``("log", page_id)``);
     values are stored by reference — callers must store immutable or
     defensively-copied data, which the checkpoint layer does.
+
+    Commit markers
+    --------------
+    A multi-block disk write is not atomic: a fail-stop in the middle
+    leaves a *torn* record on stable storage. The store models this with
+    a two-phase put: :meth:`begin_put` lands the data without a commit
+    marker, :meth:`commit_put` adds the marker once the simulated disk
+    write has completed. Recovery must treat marker-less (pending) keys
+    as garbage — :meth:`pending_keys` enumerates them for discarding.
     """
 
     def __init__(self, node_id: int) -> None:
         self.node_id = node_id
         self._data: Dict[Any, Any] = {}
         self._sizes: Dict[Any, int] = {}
+        self._pending: set = set()  # keys written without a commit marker
 
     def put(self, key: Any, value: Any, size: int) -> None:
         if size < 0:
             raise ValueError("negative object size")
         self._data[key] = value
         self._sizes[key] = size
+        self._pending.discard(key)
+
+    def begin_put(self, key: Any, value: Any, size: int) -> None:
+        """Start writing ``key``: data lands, but without a commit marker.
+
+        A crash before :meth:`commit_put` leaves the key *torn*; readers
+        must check :meth:`is_pending` (recovery discards such keys).
+        """
+        if size < 0:
+            raise ValueError("negative object size")
+        self._data[key] = value
+        self._sizes[key] = size
+        self._pending.add(key)
+
+    def commit_put(self, key: Any) -> None:
+        """Write the commit marker for a key staged with ``begin_put``."""
+        if key not in self._data:
+            raise KeyError(f"commit_put of unknown key {key!r}")
+        self._pending.discard(key)
+
+    def is_pending(self, key: Any) -> bool:
+        return key in self._pending
+
+    def pending_keys(self) -> List[Any]:
+        """Torn (marker-less) keys, in insertion order (deterministic)."""
+        return [k for k in self._data if k in self._pending]
 
     def get(self, key: Any) -> Any:
         return self._data[key]
@@ -92,6 +128,7 @@ class CheckpointStore:
     def delete(self, key: Any) -> int:
         """Remove ``key``; returns the bytes reclaimed."""
         self._data.pop(key)
+        self._pending.discard(key)
         return self._sizes.pop(key)
 
     def keys(self) -> List[Any]:

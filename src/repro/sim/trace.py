@@ -25,17 +25,40 @@ __all__ = ["TraceEvent", "Tracer"]
 class TraceEvent:
     time: float
     pid: int
-    kind: str  # send | lock | barrier | flush | fetch | ckpt | failure
+    kind: str  # send | lock | barrier | flush | fetch | ckpt | failure | ...
     detail: str
+    #: engine event index at emission — with a deterministic engine,
+    #: (pid, step) names one reproducible point in the execution, which
+    #: is what the crash-sweep campaign enumerates as injection targets
+    step: int = -1
 
     def render(self) -> str:
-        return f"{self.time * 1e3:10.4f} ms  p{self.pid}  {self.kind:<8} {self.detail}"
+        return (
+            f"{self.time * 1e3:10.4f} ms "
+            f"#{self.step:<7d} p{self.pid}  {self.kind:<10} {self.detail}"
+        )
 
 
 class Tracer:
-    """Records cluster events by wrapping the protocol entry points."""
+    """Records cluster events by wrapping the protocol entry points.
 
-    KINDS = {"send", "lock", "barrier", "flush", "fetch", "ckpt", "failure"}
+    The ``ckpt_write`` and ``recovery`` kinds come from the cluster's
+    probe hook (begin/end of checkpoint disk writes, recovery lifecycle)
+    rather than from wrapped methods; the tracer chains onto any probe
+    consumer already attached.
+    """
+
+    KINDS = {
+        "send",
+        "lock",
+        "barrier",
+        "flush",
+        "fetch",
+        "ckpt",
+        "ckpt_write",
+        "recovery",
+        "failure",
+    }
 
     def __init__(
         self,
@@ -61,7 +84,13 @@ class Tracer:
             self.dropped += 1
             return
         self.events.append(
-            TraceEvent(self.cluster.engine.now, pid, kind, detail)
+            TraceEvent(
+                self.cluster.engine.now,
+                pid,
+                kind,
+                detail,
+                self.cluster.engine.steps,
+            )
         )
 
     def _install(self) -> None:
@@ -97,6 +126,17 @@ class Tracer:
             orig_crash(pid)
 
         cluster.crash = crash
+
+        # probe events (ckpt_write begin/end, recovery lifecycle): chain
+        # onto any consumer already attached
+        orig_probe = cluster.probe
+
+        def probe(pid: int, kind: str, detail: str) -> None:
+            tracer._emit(pid, kind, detail)
+            if orig_probe is not None:
+                orig_probe(pid, kind, detail)
+
+        cluster.probe = probe
 
     def _wrap_proto(self, proto: Any) -> None:
         tracer = self

@@ -1,0 +1,243 @@
+"""Fault-injection campaign tests: the crash sweep and its hardening.
+
+These exercise the robustness surface the sweep depends on — torn
+checkpoints discarded at recovery, restartable recovery, the
+overlapping-failure hold/detect path, and the deadlock diagnostics —
+plus a bounded end-to-end sweep with the recovery-equivalence oracle.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.recovery import OverlappingFailureError
+from repro.faultinject import CrashSweep, OracleViolation, check_oracle
+from repro.sim.engine import Future
+from repro.sim.trace import Tracer
+from tests.conftest import make_app, make_cluster
+
+FAST_DETECT = {"failure_detection_delay": 2e-3}
+
+
+def _factories(**app_overrides):
+    defaults = {"steps": 2, "n_elements": 256}
+
+    def cluster_factory():
+        return make_cluster(num_procs=4, ft=True, l_fraction=0.2, **FAST_DETECT)
+
+    def app_factory():
+        return make_app("counter", **{**defaults, **app_overrides})
+
+    return cluster_factory, app_factory
+
+
+# ======================================================================
+# end-to-end sweep
+# ======================================================================
+
+
+def test_sweep_counter_bounded():
+    """A bounded sweep over every class: 100% recovered or explicitly
+    degraded, and degradation only where a second failure overlapped."""
+    cluster_factory, app_factory = _factories()
+    sweep = CrashSweep(cluster_factory, app_factory, every=60)
+    summary = sweep.run()
+    assert summary.results, "sweep enumerated no crash points"
+    outcomes = summary.outcomes()
+    assert outcomes.get("failed", 0) == 0, [
+        r.error for r in summary.results if r.outcome == "failed"
+    ]
+    assert outcomes.get("recovered", 0) > 0
+    assert summary.ok
+    # targeted classes must actually enumerate points on this app
+    classes_hit = {r.point.cls for r in summary.results}
+    assert {"lock", "barrier", "ckpt_write", "recovery"} <= classes_hit
+    # summary serializes deterministically
+    payload = json.loads(summary.to_json(app="counter", procs=4))
+    assert payload["ok"] is True
+    assert payload["outcomes"] == outcomes
+
+
+def test_sweep_rejects_unknown_class_and_nonft_cluster():
+    cluster_factory, app_factory = _factories()
+    with pytest.raises(ValueError, match="unknown crash-point classes"):
+        CrashSweep(cluster_factory, app_factory, classes=("bogus",))
+    sweep = CrashSweep(
+        lambda: make_cluster(num_procs=4, ft=False), app_factory
+    )
+    with pytest.raises(RuntimeError, match="FT-enabled"):
+        sweep.run_reference()
+
+
+# ======================================================================
+# torn checkpoints (commit-marker protocol)
+# ======================================================================
+
+
+def test_crash_during_checkpoint_write_recovers_from_previous():
+    """A fail-stop mid checkpoint-disk-write leaves a torn record;
+    recovery must discard it and restart from the previous checkpoint,
+    and the final result must match the failure-free run."""
+    cluster_factory, app_factory = _factories()
+
+    ref = cluster_factory()
+    tracer = Tracer(ref, kinds={"ckpt_write"})
+    ref.run(app_factory())
+    reference = {
+        region.name: ref.shared_snapshot(region).tobytes()
+        for region in ref.regions
+    }
+    begins = {}
+    window = None
+    for ev in tracer.events:
+        tag = ev.detail.split()[1]
+        if ev.detail.startswith("begin"):
+            begins[(ev.pid, tag)] = ev.step
+        elif (ev.pid, tag) in begins:
+            window = (ev.pid, int(tag.split("=")[1]), begins[(ev.pid, tag)], ev.step)
+            break
+    assert window is not None, "no checkpoint disk write in reference run"
+    victim, seqno, begin, end = window
+    assert end > begin + 1, "disk write spans no events; cannot interrupt"
+
+    cluster = cluster_factory()
+    cluster.schedule_crash_at_step(victim, (begin + end) // 2)
+    res = cluster.run(app_factory())
+    assert res.crashes == 1 and res.recoveries == 1
+
+    mgr = cluster.hosts[victim].ckpt_mgr
+    assert mgr.torn_discarded == 1
+    assert seqno not in mgr.checkpoints
+    assert ("ckpt", seqno) not in cluster.hosts[victim].store
+    check_oracle(cluster, reference)
+
+
+def test_oracle_detects_divergence():
+    cluster_factory, app_factory = _factories()
+    cluster = cluster_factory()
+    cluster.run(app_factory())
+    reference = {
+        region.name: cluster.shared_snapshot(region).tobytes()
+        for region in cluster.regions
+    }
+    check_oracle(cluster, reference)  # identical run passes
+    bad = {name: b"\x00" * len(data) for name, data in reference.items()}
+    with pytest.raises(OracleViolation, match="diverged"):
+        check_oracle(cluster, bad)
+
+
+# ======================================================================
+# overlapping failures (hold path + explicit degradation)
+# ======================================================================
+
+
+def _recovery_window(cluster_factory, app_factory, victim, step):
+    """Run with one crash; return the victim's recovery (begin, live)."""
+    cluster = cluster_factory()
+    tracer = Tracer(cluster, kinds={"recovery"})
+    cluster.schedule_crash_at_step(victim, step)
+    cluster.run(app_factory())
+    begin = live = None
+    for ev in tracer.events:
+        if ev.pid != victim:
+            continue
+        if ev.detail.startswith("begin") and begin is None:
+            begin = ev.step
+        elif ev.detail == "live" and begin is not None:
+            live = ev.step
+            break
+    assert begin is not None and live is not None
+    return begin, live
+
+
+def _mid_run_point(cluster_factory, app_factory):
+    cluster = cluster_factory()
+    tracer = Tracer(cluster)
+    cluster.run(app_factory())
+    ev = tracer.events[len(tracer.events) // 2]
+    return ev.pid, ev.step
+
+
+def test_overlapping_failure_holds_messages_then_degrades():
+    """Crash a *responder* inside another node's recovery: queries to it
+    are held (not lost) while it is down, drained after it recovers, and
+    the recovering requester then degrades with a clean diagnostic
+    instead of silently diverging or hanging."""
+    cluster_factory, app_factory = _factories()
+    victim, step = _mid_run_point(cluster_factory, app_factory)
+    begin, live = _recovery_window(cluster_factory, app_factory, victim, step)
+
+    cluster = cluster_factory()
+    other = (victim + 1) % 4
+    cluster.schedule_crash_at_step(victim, step)
+    cluster.schedule_crash_at_step(other, begin + max(1, (live - begin) // 4))
+    with pytest.raises(OverlappingFailureError, match="single-fault"):
+        cluster.run(app_factory())
+    # the requester's query to the down responder took the hold path
+    assert cluster.held_recovery_msgs >= 1
+
+
+def test_recrash_of_recovering_host_restarts_recovery():
+    """Crashing the same victim inside its own recovery window restarts
+    recovery from the same stable state and still reaches the
+    failure-free result (peers' logs are intact: not an overlap)."""
+    cluster_factory, app_factory = _factories()
+    victim, step = _mid_run_point(cluster_factory, app_factory)
+    begin, live = _recovery_window(cluster_factory, app_factory, victim, step)
+
+    ref = cluster_factory()
+    ref.run(app_factory())
+    reference = {
+        region.name: ref.shared_snapshot(region).tobytes()
+        for region in ref.regions
+    }
+
+    cluster = cluster_factory()
+    cluster.schedule_crash_at_step(victim, step)
+    cluster.schedule_crash_at_step(victim, begin + (live - begin) // 2)
+    res = cluster.run(app_factory())
+    assert res.crashes == 2
+    assert res.recoveries == 1  # the first incarnation was killed
+    assert cluster.hosts[victim].crashed_count == 2
+    check_oracle(cluster, reference)
+
+
+# ======================================================================
+# deadlock diagnostics
+# ======================================================================
+
+
+class _StuckApp:
+    """Minimal app: p0 blocks forever on a future nobody resolves."""
+
+    name = "stuck"
+
+    def configure(self, cluster):
+        pass
+
+    def init_shared(self, cluster):
+        pass
+
+    def init_state(self, pid):
+        return {}
+
+    def run(self, proc, state):
+        if proc.pid == 0:
+            yield Future("never resolved")
+
+    def check_result(self, cluster):
+        pass
+
+
+def test_deadlock_error_includes_per_host_diagnostics():
+    cluster = make_cluster(num_procs=2)
+    with pytest.raises(RuntimeError) as exc_info:
+        cluster.run(_StuckApp())
+    msg = str(exc_info.value)
+    assert "deadlock" in msg
+    # one diagnostic line per host, with liveness and queue state
+    assert "p0: live=True recovering=False finished=False" in msg
+    assert "p1: live=True recovering=False finished=True" in msg
+    assert "queued=" in msg

@@ -81,6 +81,28 @@ def test_run_to_run_identical(app_name):
     assert run_once(app_name, True) == run_once(app_name, True)
 
 
+def test_golden_unchanged_with_armed_breakpoint():
+    """The injection hooks are compiled in but must cost nothing.
+
+    An armed-but-unreachable engine breakpoint (the crash-sweep
+    primitive) must not perturb a single timestamp or counter: injection
+    support has to be free on the failure-free path the golden pins
+    protect.
+    """
+    cluster = make_cluster(4, ft=True)
+    cluster.engine.break_at_step(10**9, lambda: None)
+    result = cluster.run(make_app("counter"))
+    traffic = result.traffic
+    got = {
+        "wall_time_hex": result.wall_time.hex(),
+        "total_bytes": traffic.total_bytes,
+        "total_msgs": traffic.total_msgs,
+        "bytes_by_category": dict(sorted(traffic.bytes_by_category.items())),
+        "msgs_by_category": dict(sorted(traffic.msgs_by_category.items())),
+    }
+    assert got == GOLDEN[("counter", True)]
+
+
 @pytest.mark.parametrize("profile", [False, True], ids=["plain", "profiled"])
 def test_bench_runs_deterministic_across_profile(profile):
     """The bench harness reports identical simulations with --profile on/off."""

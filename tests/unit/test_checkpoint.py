@@ -149,3 +149,47 @@ def test_old_checkpoint_records_pruned_with_their_copies():
     assert ("ckpt", 1) not in store
     assert ("ckpt", 3) in store
     assert 1 not in mgr.checkpoints
+
+
+def test_staged_checkpoint_is_invisible_until_committed():
+    mgr = mk_mgr()
+    c1 = mk_ckpt(0, 1, vt(2, 0, 0, 0))
+    homed = {P0: (b"\x01" * 64, vt(2, 0, 0, 0))}
+    mgr.stage(c1, homed)
+    # staged but torn: not the restart point, pages not retained
+    assert mgr.latest is None
+    assert 1 not in mgr.checkpoints
+    assert mgr.store.is_pending(("ckpt", 1))
+    mgr.commit_staged(c1, homed)
+    assert mgr.latest is c1
+    assert not mgr.store.is_pending(("ckpt", 1))
+
+
+def test_commit_staged_requires_stage():
+    mgr = mk_mgr()
+    c1 = mk_ckpt(0, 1, vt(2, 0, 0, 0))
+    with pytest.raises(RuntimeError, match="unstaged"):
+        mgr.commit_staged(c1, {})
+
+
+def test_discard_torn_falls_back_to_previous_checkpoint():
+    mgr = mk_mgr()
+    c1 = mk_ckpt(0, 1, vt(2, 0, 0, 0))
+    mgr.commit(c1, {P0: (b"\x01" * 64, vt(2, 0, 0, 0))})
+    c2 = mk_ckpt(0, 2, vt(4, 0, 0, 0))
+    mgr.stage(c2, {P0: (b"\x02" * 64, vt(4, 0, 0, 0))})
+    # crash here: c2 has no commit marker; recovery discards it
+    assert mgr.discard_torn() == 1
+    assert mgr.torn_discarded == 1
+    assert ("ckpt", 2) not in mgr.store
+    assert mgr.restart_checkpoint() is c1
+    # the torn seqno is burned, not reused
+    c3 = mk_ckpt(0, 3, vt(6, 0, 0, 0))
+    mgr.commit(c3, {P0: (b"\x03" * 64, vt(6, 0, 0, 0))})
+    assert mgr.restart_checkpoint() is c3
+
+
+def test_discard_torn_noop_when_clean():
+    mgr = mk_mgr()
+    assert mgr.discard_torn() == 0
+    assert mgr.torn_discarded == 0

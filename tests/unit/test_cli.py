@@ -42,3 +42,31 @@ def test_trace_flag(capsys):
 def test_parser_rejects_unknown_app():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["not-an-app"])
+
+
+def test_crashsweep_subcommand(tmp_path, capsys):
+    out_path = tmp_path / "sweep.json"
+    rc = main([
+        "crashsweep", "counter",
+        "--procs", "4", "--steps", "1", "--size", "128",
+        "--every", "100", "--classes", "every,ckpt_write",
+        "--out", str(out_path),
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "SWEEP OK" in out
+    import json
+
+    payload = json.loads(out_path.read_text())
+    assert payload["app"] == "counter"
+    assert payload["ok"] is True
+    assert payload["outcomes"].get("failed", 0) == 0
+    assert payload["points"]
+
+
+def test_crashsweep_rejects_bad_class():
+    with pytest.raises(SystemExit):
+        # argparse exits on unknown app; unknown class raises ValueError
+        main(["crashsweep", "not-an-app"])
+    with pytest.raises(ValueError, match="unknown crash-point classes"):
+        main(["crashsweep", "counter", "--classes", "bogus"])

@@ -351,3 +351,63 @@ def test_kill_process_with_queued_future_continuation():
     eng.schedule(1.0, lambda: proc.kill())
     eng.run()
     assert ran == []
+
+
+# ----------------------------------------------------------------------
+# step-indexed breakpoints (crash-sweep injection primitive)
+# ----------------------------------------------------------------------
+
+
+def test_breakpoint_fires_after_named_step():
+    eng = Engine()
+    fired = []
+
+    def ticker():
+        for _ in range(5):
+            yield Delay(1.0)
+
+    eng.spawn(ticker())
+    eng.break_at_step(3, lambda: fired.append(eng.steps))
+    eng.run()
+    assert fired == [3]
+
+
+def test_breakpoint_in_past_rejected():
+    eng = Engine()
+
+    def ticker():
+        for _ in range(5):
+            yield Delay(1.0)
+
+    eng.spawn(ticker())
+    eng.run()
+    with pytest.raises(ValueError, match="already executed"):
+        eng.break_at_step(2, lambda: None)
+
+
+def test_multiple_breakpoints_fire_in_order():
+    eng = Engine()
+    fired = []
+
+    def ticker():
+        for _ in range(10):
+            yield Delay(1.0)
+
+    eng.spawn(ticker())
+    eng.break_at_step(5, lambda: fired.append("b"))
+    eng.break_at_step(2, lambda: fired.append("a"))
+    eng.run()
+    assert fired == ["a", "b"]
+
+
+def test_unreached_breakpoint_is_harmless():
+    eng = Engine()
+    fired = []
+
+    def ticker():
+        yield Delay(1.0)
+
+    eng.spawn(ticker())
+    eng.break_at_step(10**9, lambda: fired.append("x"))
+    eng.run()
+    assert fired == []

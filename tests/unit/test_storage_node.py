@@ -122,3 +122,34 @@ def test_negative_costs_rejected():
     cpu = CpuModel()
     with pytest.raises(ValueError):
         cpu.accrue_handler(-1.0)
+
+
+# ----------------------------------------------------------------------
+# commit markers (two-phase stable-storage writes)
+# ----------------------------------------------------------------------
+
+
+def test_begin_put_leaves_key_pending_until_commit():
+    store = CheckpointStore(0)
+    store.begin_put("k", "v", 10)
+    assert "k" in store and store.is_pending("k")
+    assert store.pending_keys() == ["k"]
+    store.commit_put("k")
+    assert not store.is_pending("k")
+    assert store.pending_keys() == []
+
+
+def test_plain_put_and_delete_clear_pending():
+    store = CheckpointStore(0)
+    store.begin_put("a", 1, 4)
+    store.put("a", 2, 4)  # atomic overwrite commits implicitly
+    assert not store.is_pending("a")
+    store.begin_put("b", 1, 4)
+    assert store.delete("b") == 4
+    assert store.pending_keys() == []
+
+
+def test_commit_put_unknown_key_raises():
+    store = CheckpointStore(0)
+    with pytest.raises(KeyError):
+        store.commit_put("missing")
