@@ -1,5 +1,10 @@
 """Figure 4 — stable-storage log size vs checkpoint number.
 
+The measured curves come from the observability registry: the
+``ClusterObserver`` attached by ``run_ft`` records a per-node
+``ft.log_disk_bytes`` point at every checkpoint, and :func:`figure4`
+aggregates the max across nodes per checkpoint number.
+
 Shape targets from the paper: the measured log grows over the first few
 checkpoints and then *flattens out* under LLT, falling below (or staying
 far below) the theoretical unbounded L-bytes-per-checkpoint line; within
@@ -9,6 +14,22 @@ three checkpoints of the start the measured curve is under that line.
 from conftest import emit
 
 from repro.harness.figures import figure4, figure4_render
+
+
+def test_registry_backs_figure4(experiments, benchmark):
+    """The FT runs carry a populated registry, and its per-node
+    ``ft.log_disk_bytes`` series agree with the FT layer's own record."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for name, (_base, ft) in experiments.items():
+        assert ft.registry is not None, f"{name}: run_ft attached no registry"
+        series = ft.registry.series_by_name("ft.log_disk_bytes")
+        assert series, f"{name}: no checkpoints observed"
+        for pid, points in series.items():
+            expected = [
+                (float(k), float(v)) for k, v in ft.hosts[pid].ft.stats.log_points
+            ]
+            got = [(float(x), float(v)) for x, v in points]
+            assert got == expected, f"{name} p{pid}: registry != FtStats"
 
 
 def test_figure4(experiments, results_dir, benchmark):

@@ -8,6 +8,7 @@ Examples::
     python -m repro tables --scale smoke
     python -m repro bench --smoke --check
     python -m repro crashsweep counter --every 40 --classes lock,ckpt_write
+    python -m repro observe counter --procs 4 --interval 1e-3
 """
 
 from __future__ import annotations
@@ -251,11 +252,93 @@ def run_crashsweep(argv: list) -> int:
     return 0
 
 
+def build_observe_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="python -m repro observe",
+        description="Run one workload with the observability layer attached "
+        "and emit a run report: per-node time series (log sizes, diff "
+        "traffic, simulator rates), wait histograms, and summary tables. "
+        "The full report is written as JSONL; a rendered version is printed.",
+    )
+    p.add_argument("app", choices=[a for a in APPS if a not in ("tables", "bench")])
+    p.add_argument("--procs", type=int, default=4, help="cluster size (default 4)")
+    p.add_argument("--steps", type=int, default=None, help="application steps")
+    p.add_argument("--size", type=int, default=None, help="problem size")
+    p.add_argument("--l", type=float, default=0.1, help="OF policy L fraction")
+    p.add_argument(
+        "--no-ft", action="store_true",
+        help="observe the base protocol instead of the fault-tolerant one",
+    )
+    p.add_argument(
+        "--interval", type=float, default=1e-3, metavar="SECONDS",
+        help="virtual-time sampling cadence (default 1e-3); 0 disables the "
+        "ticker, leaving barrier-episode sampling only",
+    )
+    p.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="JSONL report path (default benchmarks/OBSERVE_<app>.jsonl)",
+    )
+    return p
+
+
+def run_observe(argv: list) -> int:
+    from repro.observe import (
+        ClusterObserver,
+        build_report,
+        render_report,
+        validate_report,
+        write_jsonl,
+    )
+
+    args = build_observe_parser().parse_args(argv)
+    ns = argparse.Namespace(
+        procs=args.procs, ft=not args.no_ft, coordinated=False, wan=None, l=args.l
+    )
+    cluster = make_cluster(ns)
+    observer = ClusterObserver(
+        cluster,
+        interval=args.interval or None,
+        sample_on_barrier=True,
+    )
+
+    t0 = time.time()
+    result = cluster.run(make_app(args.app, args.steps, args.size))
+    host_s = time.time() - t0
+    observer.sample()  # final snapshot at end-of-run virtual time
+
+    report = build_report(
+        observer.registry,
+        {
+            "app": args.app,
+            "procs": args.procs,
+            "ft": not args.no_ft,
+            "l_fraction": args.l,
+            "interval_s": args.interval,
+            "host_time_s": round(host_s, 3),
+        },
+        result=result,
+    )
+    print(render_report(report))
+
+    out = args.out or f"benchmarks/OBSERVE_{args.app}.jsonl"
+    write_jsonl(out, report)
+    print(f"\nwritten to {out}")
+
+    errors = validate_report(report, require_ft=not args.no_ft)
+    if errors:
+        for e in errors:
+            print(f"INVALID: {e}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: Optional[list] = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
     if argv and argv[0] == "crashsweep":
         return run_crashsweep(argv[1:])
+    if argv and argv[0] == "observe":
+        return run_observe(argv[1:])
     args = build_parser().parse_args(argv)
 
     if args.app == "bench":

@@ -84,6 +84,8 @@ class ProcHost:
             send_fn=cluster.send,
             cpu=CpuModel(),
         )
+        if cluster.observer is not None:
+            proto.obs = cluster.observer.node_probe(self.pid)
         return proto
 
     def deliver(self, src: int, msg: Message) -> None:
@@ -172,6 +174,10 @@ class DsmCluster:
         #: optional probe consumer (tracer / fault-injection campaign):
         #: called as probe(pid, kind, detail) at instrumented points
         self.probe: Optional[Callable[[int, str, str], None]] = None
+        #: attached observability layer (repro.observe.ClusterObserver);
+        #: set by the observer itself, consulted whenever a protocol or
+        #: FT instance is (re)created so probes survive crash/recovery
+        self.observer: Any = None
         #: recovery queries held because the responder was down (§4.3
         #: overlapping-failure message-hold path)
         self.held_recovery_msgs = 0
@@ -249,6 +255,8 @@ class DsmCluster:
         )
         host.ft.proc_host = host
         host.ft.app_state_fn = lambda h=host: h.state
+        if self.observer is not None:
+            host.ft.obs = self.observer
         host.responder = RecoveryResponder(host)
 
     def start(self) -> None:

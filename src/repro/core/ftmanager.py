@@ -123,6 +123,8 @@ class FtManager(FtHooks):
         #: set by the cluster: the ProcHost we live on (None when the
         #: manager is driven directly, e.g. in unit tests)
         self.proc_host: Any = None
+        #: observability sink (repro.observe.ClusterObserver); record-only
+        self.obs: Any = None
         self._install()
 
     def _probe(self, kind: str, detail: str) -> None:
@@ -327,6 +329,8 @@ class FtManager(FtHooks):
         disk_log = self.logs.diff.saved_bytes
         self.stats.max_log_disk = max(self.stats.max_log_disk, disk_log)
         self.stats.log_points.append((self.stats.checkpoints_taken, disk_log))
+        if self.obs is not None:
+            self.obs.on_checkpoint(self.pid, self.stats.checkpoints_taken, disk_log)
 
     # ==================================================================
     # LLT (Rules 1, 2, 3.2) — §4.4
@@ -366,6 +370,8 @@ class FtManager(FtHooks):
                 locks[lock_id] = [t for t in entries if t[grantor] > bound]
         self.stats.rel_entries_trimmed += out["rel"] + out["acq"]
         self.stats.wn_trimmed += out["wn"]
+        if self.obs is not None:
+            self.obs.on_llt(self.pid, out)
         return out
 
     # ==================================================================
@@ -387,6 +393,8 @@ class FtManager(FtHooks):
                 )
             # the home is its own writer: trim its own diff log directly
             self.trim.learn_p0v(page, p0.version[self.pid])
+        if self.obs is not None:
+            self.obs.on_cgc(self.pid, freed)
         return freed
 
     # ==================================================================

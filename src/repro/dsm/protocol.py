@@ -194,6 +194,11 @@ class DsmProcess:
         )
 
         self.ft: FtHooks = FtHooks()
+        #: observability probe (repro.observe.NodeProbe); None = no
+        #: observer attached — instrumented sites cost one attribute
+        #: check, and the probe itself only reads/records (never
+        #: schedules), so observation cannot perturb the run
+        self.obs: Any = None
         #: recovery replay driver (duck-typed); None = live operation
         self.replay: Any = None
 
@@ -385,7 +390,10 @@ class DsmProcess:
         self._send(self.regions.home_of(page), req)
         reply: PageFetchReply = yield fut
         self._pending_fetch_req.pop(page, None)
-        self.cpu.stats.add(TimeBucket.PAGE_WAIT, self.engine.now - t0)
+        wait = self.engine.now - t0
+        self.cpu.stats.add(TimeBucket.PAGE_WAIT, wait)
+        if self.obs is not None:
+            self.obs.fetch_wait.observe(wait)
         # install the page
         buf = self.page_bytes(page)
         buf[:] = np.frombuffer(reply.data, dtype=np.uint8)
@@ -509,7 +517,10 @@ class DsmProcess:
         else:
             self._send(manager, req)
         grant: LockGrant = yield fut
-        self.cpu.stats.add(TimeBucket.LOCK_WAIT, self.engine.now - t0)
+        wait = self.engine.now - t0
+        self.cpu.stats.add(TimeBucket.LOCK_WAIT, wait)
+        if self.obs is not None:
+            self.obs.lock_wait.observe(wait)
         self._complete_acquire(lock_id, grant, local=False)
         yield from self.cpu.charge(
             TimeBucket.OVERHEAD,
@@ -660,7 +671,10 @@ class DsmProcess:
             self._send(mgr, arrive)
         release: BarrierRelease = yield fut
         self._pending_arrive = None
-        self.cpu.stats.add(TimeBucket.BARRIER_WAIT, self.engine.now - t0)
+        wait = self.engine.now - t0
+        self.cpu.stats.add(TimeBucket.BARRIER_WAIT, wait)
+        if self.obs is not None:
+            self.obs.barrier_wait.observe(wait)
         self._complete_barrier(release)
         yield from self.cpu.charge(
             TimeBucket.OVERHEAD,
@@ -674,6 +688,8 @@ class DsmProcess:
         self.barrier_episode += 1
         self.stats.barriers += 1
         self.ft.on_barrier_done(release.episode, release.global_vt)
+        if self.obs is not None:
+            self.obs.on_barrier(release.episode)
 
     # ------------------------------------------------------------------
     # invalidations

@@ -175,6 +175,9 @@ class ExperimentResult:
     setup: AppSetup
     cluster: DsmCluster
     result: RunResult
+    #: metrics registry sampled during the run (FT runs only); the
+    #: figure/table layer reads series from here instead of bespoke probes
+    registry: Optional[Any] = None
 
     @property
     def hosts(self):
@@ -195,6 +198,8 @@ def run_ft(
     policy_factory: Optional[Callable[[int, int], Any]] = None,
 ) -> ExperimentResult:
     """Run with fault tolerance (OF policy at the setup's L)."""
+    from repro.observe import ClusterObserver
+
     factory = policy_factory or (
         lambda pid, fp: LogOverflowPolicy(setup.l_fraction, fp)
     )
@@ -205,5 +210,9 @@ def run_ft(
         ft_config=ft_config,
         policy_factory=factory,
     )
+    # event-driven observation only (no time ticker): checkpoint and
+    # barrier recording are passive reads, so the run stays bit-identical
+    observer = ClusterObserver(cluster, interval=None, sample_on_barrier=True)
     result = cluster.run(setup.make_app())
-    return ExperimentResult(setup, cluster, result)
+    observer.sample()
+    return ExperimentResult(setup, cluster, result, registry=observer.registry)

@@ -61,13 +61,15 @@ class BenchResult:
         return self.ops / self.wall_s if self.wall_s > 0 else 0.0
 
     def as_dict(self) -> Dict[str, Any]:
+        # rates stay floats: integer rounding quantizes sub-1.0 rates to
+        # 0 and the CI perf-budget comparison then trusts the zero
         return {
             "name": self.name,
             "wall_s": round(self.wall_s, 4),
             "events": self.events,
             "ops": self.ops,
-            "events_per_sec": round(self.events_per_sec),
-            "ops_per_sec": round(self.ops_per_sec),
+            "events_per_sec": round(self.events_per_sec, 3),
+            "ops_per_sec": round(self.ops_per_sec, 3),
             "virtual_time": self.virtual_time,
             "total_msgs": self.total_msgs,
             "total_bytes": self.total_bytes,
@@ -275,7 +277,9 @@ def run_suite(smoke: bool = False, profile: bool = False) -> Dict[str, Any]:
             "python": platform.python_version(),
             "platform": platform.platform(),
         },
-        "events_per_sec": round(total_events / total_wall) if total_wall else 0,
+        "events_per_sec": (
+            round(total_events / total_wall, 3) if total_wall else 0.0
+        ),
         "wall_s": round(sum(r.wall_s for r in results), 4),
         "benches": [r.as_dict() for r in results],
         "profiles": {
@@ -287,12 +291,17 @@ def run_suite(smoke: bool = False, profile: bool = False) -> Dict[str, Any]:
 # ---------------------------------------------------------------------------
 # reporting / regression gate
 # ---------------------------------------------------------------------------
+def _fmt_rate(v: float) -> str:
+    """Rates >= 10 as grouped integers; small rates keep their precision."""
+    return f"{v:,.0f}" if v >= 10 else f"{v:.3g}"
+
+
 def render_report(report: Dict[str, Any]) -> str:
     from repro.metrics.report import Table
 
     table = Table(
         f"repro bench — {report['suite']} suite "
-        f"({report['events_per_sec']:,} events/sec aggregate, "
+        f"({_fmt_rate(report['events_per_sec'])} events/sec aggregate, "
         f"{report['wall_s']:.2f} s wall)",
         ["bench", "wall (s)", "events/sec", "ops/sec", "virtual time (ms)", "msgs"],
     )
@@ -300,8 +309,8 @@ def render_report(report: Dict[str, Any]) -> str:
         table.add(
             b["name"],
             f"{b['wall_s']:.3f}",
-            f"{b['events_per_sec']:,}" if b["events"] else "-",
-            f"{b['ops_per_sec']:,}" if b["ops"] else "-",
+            _fmt_rate(b["events_per_sec"]) if b["events"] else "-",
+            _fmt_rate(b["ops_per_sec"]) if b["ops"] else "-",
             f"{b['virtual_time'] * 1e3:.3f}" if b["virtual_time"] else "-",
             b["total_msgs"] or "-",
         )
@@ -355,12 +364,18 @@ def check_report(
     baseline = (payload.get("after") or payload.get("before") or {}).get(
         "events_per_sec"
     )
+    # tolerate baselines recorded before rates became floats (old
+    # BENCH_core.json files store integers)
+    try:
+        baseline = float(baseline)
+    except (TypeError, ValueError):
+        baseline = 0.0
     if not baseline:
         return False, f"baseline {path} has no events_per_sec"
-    current = report["events_per_sec"]
+    current = float(report["events_per_sec"])
     floor = baseline * (1.0 - budget)
     msg = (
-        f"events/sec current={current:,} baseline={baseline:,} "
-        f"floor={floor:,.0f} (budget {budget:.0%})"
+        f"events/sec current={current:,.2f} baseline={baseline:,.2f} "
+        f"floor={floor:,.2f} (budget {budget:.0%})"
     )
     return current >= floor, msg

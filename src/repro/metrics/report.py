@@ -14,18 +14,27 @@ __all__ = ["Table", "ascii_series", "format_bytes", "format_pct"]
 
 
 def format_bytes(n: float) -> str:
-    """Human-readable byte counts (KB/MB with sensible precision)."""
-    if n >= 1e6:
-        return f"{n / 1e6:.2f} MB"
-    if n >= 1e3:
-        return f"{n / 1e3:.1f} KB"
-    return f"{int(n)} B"
+    """Human-readable byte counts (KB/MB with sensible precision).
+
+    Thresholds apply to the magnitude, so deltas (bytes trimmed,
+    regressions) format symmetrically: ``format_bytes(-5e6)`` is
+    ``"-5.00 MB"``, not a raw negative byte count.
+    """
+    sign = "-" if n < 0 else ""
+    a = abs(n)
+    if a >= 1e6:
+        return f"{sign}{a / 1e6:.2f} MB"
+    if a >= 1e3:
+        return f"{sign}{a / 1e3:.1f} KB"
+    return f"{sign}{int(a)} B"
 
 
 def format_pct(x: float) -> str:
-    if x >= 10:
+    """Percentage with magnitude-based precision (sign preserved)."""
+    a = abs(x)
+    if a >= 10:
         return f"{x:.0f} %"
-    if x >= 1:
+    if a >= 1:
         return f"{x:.1f} %"
     return f"{x:.2f} %"
 
@@ -89,17 +98,23 @@ def ascii_series(
     xs, ys = zip(*pts)
     x0, x1 = min(xs), max(xs)
     y0, y1 = min(ys), max(ys)
-    xr = (x1 - x0) or 1.0
-    yr = (y1 - y0) or 1.0
+    xr = x1 - x0
+    yr = y1 - y0
     grid = [[" "] * width for _ in range(height)]
     marks = "ox+*#@"
     legend = []
+    # degenerate ranges (flat series, single points) center their marks
+    # instead of collapsing onto a border row/column
+    mid_row = height // 2
+    mid_col = width // 2
     for k, (name, s) in enumerate(series.items()):
         m = marks[k % len(marks)]
         legend.append(f"{m} = {name}")
         for x, y in s:
-            col = int((x - x0) / xr * (width - 1))
-            row = height - 1 - int((y - y0) / yr * (height - 1))
+            col = int((x - x0) / xr * (width - 1)) if xr else mid_col
+            row = (
+                height - 1 - int((y - y0) / yr * (height - 1)) if yr else mid_row
+            )
             grid[row][col] = m
     lines = [title, "=" * len(title)]
     lines.append(f"y: {y1:.3g} (top) .. {y0:.3g} (bottom) {ylabel}")

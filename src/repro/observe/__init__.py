@@ -1,0 +1,46 @@
+"""Unified observability layer: metrics registry, sampler and run reports.
+
+See DESIGN.md §7. Typical use::
+
+    from repro.observe import ClusterObserver
+
+    cluster = DsmCluster(..., ft=True)
+    obs = ClusterObserver(cluster, interval=1e-3)   # virtual-time cadence
+    result = cluster.run(app)
+    obs.sample()                                    # final snapshot
+    report = build_report(obs.registry, {"app": "counter"}, result)
+    write_jsonl("run.jsonl", report)
+"""
+
+from repro.observe.observer import ClusterObserver, NodeProbe
+from repro.observe.registry import (
+    CLUSTER_NODE,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.observe.report import (
+    KEY_SERIES,
+    build_report,
+    load_jsonl,
+    render_report,
+    validate_report,
+    write_jsonl,
+)
+
+__all__ = [
+    "CLUSTER_NODE",
+    "ClusterObserver",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "KEY_SERIES",
+    "MetricsRegistry",
+    "NodeProbe",
+    "build_report",
+    "load_jsonl",
+    "render_report",
+    "validate_report",
+    "write_jsonl",
+]

@@ -1,0 +1,238 @@
+"""Virtual-time sampler wiring a :class:`MetricsRegistry` into a cluster.
+
+:class:`ClusterObserver` attaches to a :class:`~repro.cluster.DsmCluster`
+before the run and produces per-node time series on two cadences:
+
+* **barrier episodes** — the first process to complete each barrier
+  episode triggers a sample, giving one point per synchronization epoch
+  (the natural x-axis of the paper's log-dynamics discussion);
+* **virtual time** — an optional self-rescheduling engine event samples
+  every ``interval`` seconds of virtual time.
+
+Both cadences only *read* state. The time ticker does schedule engine
+events, but those events send no messages, charge no CPU time and touch
+no protocol state, so virtual timestamps and traffic counters of the
+observed run are bit-identical to an unobserved run (pinned by the
+golden determinism test). The ticker also refuses to reschedule itself
+when it is the only remaining event, so a deadlocked run still drains
+its queue and reaches the cluster's deadlock diagnostics instead of
+spinning on samples.
+
+Per-node gauges close over the :class:`~repro.cluster.ProcHost` (not the
+protocol object) so they survive crash/recovery incarnations; hosts
+re-attach probes to fresh ``DsmProcess``/``FtManager`` instances via
+``cluster.observer``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, Optional
+
+from repro.observe.registry import CLUSTER_NODE, MetricsRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cluster import DsmCluster, ProcHost
+
+__all__ = ["ClusterObserver", "NodeProbe"]
+
+
+class NodeProbe:
+    """Per-process handle the protocol layer calls into.
+
+    Pre-resolved histogram references keep the instrumented hot paths to
+    one attribute load + method call; the protocol guards every use with
+    ``self.obs is not None`` so unobserved runs pay a single attribute
+    check.
+    """
+
+    __slots__ = ("pid", "observer", "fetch_wait", "lock_wait", "barrier_wait")
+
+    def __init__(self, observer: "ClusterObserver", pid: int) -> None:
+        self.pid = pid
+        self.observer = observer
+        reg = observer.registry
+        self.fetch_wait = reg.histogram("dsm.fetch_wait_s", pid)
+        self.lock_wait = reg.histogram("dsm.lock_wait_s", pid)
+        self.barrier_wait = reg.histogram("dsm.barrier_wait_s", pid)
+
+    def on_barrier(self, episode: int) -> None:
+        self.observer.on_barrier(episode)
+
+
+class ClusterObserver:
+    """Samples a cluster's protocol/FT/simulator state into a registry."""
+
+    def __init__(
+        self,
+        cluster: "DsmCluster",
+        registry: Optional[MetricsRegistry] = None,
+        interval: Optional[float] = None,
+        sample_on_barrier: bool = True,
+        max_samples: int = 100_000,
+    ) -> None:
+        self.cluster = cluster
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.interval = interval
+        self.sample_on_barrier = sample_on_barrier
+        self.max_samples = max_samples
+        self._probes: Dict[int, NodeProbe] = {}
+        self._next_episode = 0
+        #: (steps, now) at the previous sample, for the events/sec series
+        self._last_rate_point = (0, 0.0)
+        cluster.observer = self
+        self._install_cluster_gauges()
+        for host in cluster.hosts:
+            self._install_host_gauges(host)
+            # protos/FT managers exist only after cluster.setup(); attach
+            # now if they are already there (direct-driven unit tests)
+            if host.proto is not None:
+                host.proto.obs = self.node_probe(host.pid)
+            if host.ft is not None:
+                host.ft.obs = self
+        if interval is not None:
+            if interval <= 0:
+                raise ValueError(f"sample interval must be positive: {interval}")
+            cluster.engine.schedule(interval, self._tick)
+
+    # ------------------------------------------------------------------
+    # attachment
+    # ------------------------------------------------------------------
+    def node_probe(self, pid: int) -> NodeProbe:
+        probe = self._probes.get(pid)
+        if probe is None:
+            probe = self._probes[pid] = NodeProbe(self, pid)
+        return probe
+
+    def _install_cluster_gauges(self) -> None:
+        reg = self.registry
+        cluster = self.cluster
+        engine = cluster.engine
+        net = cluster.network
+        traffic = net.traffic
+        reg.gauge("sim.events", fn=lambda: engine.steps)
+        reg.gauge("sim.channel_bytes_inflight", fn=lambda: net.inflight_bytes)
+        reg.gauge("sim.channel_msgs_inflight", fn=lambda: net.inflight_msgs)
+        reg.gauge("net.total_bytes", fn=lambda: traffic.total_bytes)
+        reg.gauge("net.total_msgs", fn=lambda: traffic.total_msgs)
+        reg.gauge("net.ft_bytes", fn=lambda: traffic.ft_bytes)
+
+    def _install_host_gauges(self, host: "ProcHost") -> None:
+        reg = self.registry
+        pid = host.pid
+
+        def proto_stat(attr: str):
+            def read(h=host, a=attr) -> float:
+                p = h.proto
+                return getattr(p.stats, a) if p is not None else 0.0
+
+            return read
+
+        reg.gauge("dsm.page_fetches", pid, proto_stat("page_fetches"))
+        reg.gauge("dsm.page_fetch_bytes", pid, proto_stat("page_fetch_bytes"))
+        reg.gauge("dsm.diff_bytes_sent", pid, proto_stat("diff_bytes_sent"))
+        reg.gauge("dsm.diff_bytes_created", pid, proto_stat("diff_bytes_created"))
+        reg.gauge("dsm.lock_acquires", pid, proto_stat("lock_acquires"))
+        reg.gauge("dsm.barriers", pid, proto_stat("barriers"))
+        if not self.cluster.ft_enabled:
+            return
+
+        def ft_read(fn):
+            def read(h=host) -> float:
+                return fn(h) if h.ft is not None else 0.0
+
+            return read
+
+        reg.gauge(
+            "ft.log_volatile_bytes", pid,
+            ft_read(lambda h: h.ft.logs.diff.volatile_bytes),
+        )
+        reg.gauge(
+            "ft.log_saved_bytes", pid,
+            ft_read(lambda h: h.ft.logs.diff.saved_bytes),
+        )
+        reg.gauge(
+            "ft.log_unsaved_bytes", pid,
+            ft_read(lambda h: h.ft.logs.diff.unsaved_bytes),
+        )
+        reg.gauge(
+            "ft.rel_log_entries", pid,
+            ft_read(lambda h: h.ft.logs.rel.count() + h.ft.logs.acq.count()),
+        )
+        reg.gauge(
+            "ft.wn_entries", pid,
+            ft_read(lambda h: h.ft.proc.notices.count()),
+        )
+        reg.gauge(
+            "ft.checkpoints_taken", pid,
+            ft_read(lambda h: h.ft.stats.checkpoints_taken),
+        )
+        reg.gauge(
+            "ft.ckpts_retained", pid,
+            lambda h=host: (
+                len(h.ckpt_mgr.retained_seqnos) if h.ckpt_mgr is not None else 0.0
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # sampling
+    # ------------------------------------------------------------------
+    def sample(self) -> None:
+        """Snapshot every gauge/counter at the current virtual time."""
+        engine = self.cluster.engine
+        now = engine.now
+        self.registry.sample(now)
+        last_steps, last_now = self._last_rate_point
+        dt = now - last_now
+        if dt > 0:
+            self.registry.record(
+                "sim.events_per_vsec",
+                CLUSTER_NODE,
+                now,
+                (engine.steps - last_steps) / dt,
+            )
+        self._last_rate_point = (engine.steps, now)
+
+    def on_barrier(self, episode: int) -> None:
+        """Barrier-episode cadence: sample once per completed episode."""
+        if not self.sample_on_barrier:
+            return
+        if episode < self._next_episode:
+            return
+        self._next_episode = episode + 1
+        if self.registry.samples_taken < self.max_samples:
+            self.sample()
+
+    def _tick(self) -> None:
+        engine = self.cluster.engine
+        self.sample()
+        if self.registry.samples_taken >= self.max_samples:
+            return
+        # do not keep the event queue alive on our own: if nothing else
+        # is pending the run is over (or deadlocked) and rescheduling
+        # would turn queue-drain detection into a sampling livelock
+        if engine._ready or engine._queue:
+            engine.schedule(self.interval, self._tick)
+
+    # ------------------------------------------------------------------
+    # FT-layer hooks (called by FtManager behind an `obs is None` guard)
+    # ------------------------------------------------------------------
+    def on_checkpoint(self, pid: int, ckpt_no: int, disk_log_bytes: int) -> None:
+        """Record the Figure 4 point: stable log size at checkpoint N."""
+        self.registry.record("ft.log_disk_bytes", pid, ckpt_no, disk_log_bytes)
+        self.registry.record(
+            "ft.ckpt_times", pid, self.cluster.engine.now, ckpt_no
+        )
+
+    def on_llt(self, pid: int, trimmed: Dict[str, int]) -> None:
+        """Account one LLT pass (bytes/entries trimmed per rule)."""
+        reg = self.registry
+        reg.counter("ft.trim_diff_bytes", pid).inc(trimmed.get("diff_bytes", 0))
+        reg.counter("ft.trim_rel_entries", pid).inc(
+            trimmed.get("rel", 0) + trimmed.get("acq", 0) + trimmed.get("self", 0)
+        )
+        reg.counter("ft.trim_wn_entries", pid).inc(trimmed.get("wn", 0))
+        reg.counter("ft.trim_bar_entries", pid).inc(trimmed.get("bar", 0))
+
+    def on_cgc(self, pid: int, freed: int) -> None:
+        """Account one CGC pass (checkpoint bytes collected)."""
+        self.registry.counter("ft.cgc_freed_bytes", pid).inc(freed)

@@ -1,0 +1,283 @@
+"""Metrics registry: counters, gauges and histograms with per-node series.
+
+The registry is the single collection point of the observability layer
+(DESIGN.md §7). Three metric kinds exist:
+
+``Counter``
+    A monotonically increasing value (bytes trimmed, checkpoints taken).
+    Incremented at instrumentation sites; sampled into a time series by
+    the sampler.
+
+``Gauge``
+    A value read on demand, usually through a callback closing over live
+    protocol/FT state (volatile log bytes, retained checkpoints). Gauges
+    make most of the instrumentation *passive*: the instrumented layers
+    keep their existing counters and the registry merely reads them at
+    sample time, so a disabled registry costs nothing on the hot path.
+
+``Histogram``
+    A distribution of observed values (fetch latency, lock wait) with
+    fixed bucket bounds plus count/sum/min/max. Histograms are exported
+    in the run-report summary rather than sampled over time.
+
+Determinism guarantee
+---------------------
+Every registry operation only *reads* simulation state or mutates
+registry-private storage. Nothing here schedules events, sends messages,
+charges CPU time or touches vector clocks, so attaching a registry (and
+sampling it) can never perturb a run — the golden determinism test pins
+this.
+
+Disabled path
+-------------
+``MetricsRegistry(enabled=False)`` hands out shared null metric objects
+whose mutators are no-ops and records no series; instrumentation sites
+additionally guard with ``obs is not None`` so a run without an observer
+pays at most one attribute check per event.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_BUCKETS",
+]
+
+#: histogram bounds for simulated wait/latency seconds (20us .. 100ms)
+DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
+    2e-5, 5e-5, 1e-4, 2e-4, 5e-4, 1e-3, 2e-3, 5e-3, 1e-2, 1e-1,
+)
+
+
+class Counter:
+    """Monotonically increasing metric."""
+
+    __slots__ = ("name", "node", "value")
+
+    def __init__(self, name: str, node: int) -> None:
+        self.name = name
+        self.node = node
+        self.value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(
+                f"counter {self.name!r} is monotonic; cannot add {amount}"
+            )
+        self.value += amount
+
+
+class Gauge:
+    """Point-in-time value, read through ``fn`` or set explicitly."""
+
+    __slots__ = ("name", "node", "fn", "_value")
+
+    def __init__(
+        self, name: str, node: int, fn: Optional[Callable[[], float]] = None
+    ) -> None:
+        self.name = name
+        self.node = node
+        self.fn = fn
+        self._value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self._value = float(value)
+
+    def read(self) -> float:
+        if self.fn is not None:
+            return float(self.fn())
+        return self._value
+
+
+class Histogram:
+    """Fixed-bucket distribution with count/sum/min/max."""
+
+    __slots__ = ("name", "node", "bounds", "bucket_counts", "count", "total",
+                 "min", "max")
+
+    def __init__(
+        self,
+        name: str,
+        node: int,
+        bounds: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> None:
+        self.name = name
+        self.node = node
+        self.bounds: Tuple[float, ...] = tuple(bounds)
+        self.bucket_counts: List[int] = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.bucket_counts[i] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+        }
+
+
+class _NullCounter(Counter):
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:  # noqa: ARG002
+        pass
+
+
+class _NullGauge(Gauge):
+    __slots__ = ()
+
+    def set(self, value: float) -> None:  # noqa: ARG002
+        pass
+
+
+class _NullHistogram(Histogram):
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:  # noqa: ARG002
+        pass
+
+
+#: shared no-op instances handed out by a disabled registry
+NULL_COUNTER = _NullCounter("null", -1)
+NULL_GAUGE = _NullGauge("null", -1)
+NULL_HISTOGRAM = _NullHistogram("null", -1, bounds=())
+
+#: node id used for cluster-wide (not per-process) metrics
+CLUSTER_NODE = -1
+
+
+class MetricsRegistry:
+    """Registry of named per-node metrics plus their sampled series.
+
+    Metrics are keyed by ``(name, node)``; ``node`` is a process id or
+    :data:`CLUSTER_NODE` for cluster-wide quantities. ``sample(x)``
+    snapshots every counter and gauge into ``series[(name, node)]`` as an
+    ``(x, value)`` point — ``x`` is virtual time for the cadence sampler,
+    but any monotone axis works (Figure 4 records against checkpoint
+    number via :meth:`record`).
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._counters: Dict[Tuple[str, int], Counter] = {}
+        self._gauges: Dict[Tuple[str, int], Gauge] = {}
+        self._histograms: Dict[Tuple[str, int], Histogram] = {}
+        self.series: Dict[Tuple[str, int], List[Tuple[float, float]]] = {}
+        self.samples_taken = 0
+
+    # ------------------------------------------------------------------
+    # metric factories (interned by (name, node))
+    # ------------------------------------------------------------------
+    def counter(self, name: str, node: int = CLUSTER_NODE) -> Counter:
+        if not self.enabled:
+            return NULL_COUNTER
+        key = (name, node)
+        c = self._counters.get(key)
+        if c is None:
+            c = self._counters[key] = Counter(name, node)
+        return c
+
+    def gauge(
+        self,
+        name: str,
+        node: int = CLUSTER_NODE,
+        fn: Optional[Callable[[], float]] = None,
+    ) -> Gauge:
+        if not self.enabled:
+            return NULL_GAUGE
+        key = (name, node)
+        g = self._gauges.get(key)
+        if g is None:
+            g = self._gauges[key] = Gauge(name, node, fn)
+        elif fn is not None:
+            g.fn = fn
+        return g
+
+    def histogram(
+        self,
+        name: str,
+        node: int = CLUSTER_NODE,
+        bounds: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> Histogram:
+        if not self.enabled:
+            return NULL_HISTOGRAM
+        key = (name, node)
+        h = self._histograms.get(key)
+        if h is None:
+            h = self._histograms[key] = Histogram(name, node, bounds)
+        return h
+
+    # ------------------------------------------------------------------
+    # series
+    # ------------------------------------------------------------------
+    def record(self, name: str, node: int, x: float, value: float) -> None:
+        """Append one ``(x, value)`` point to a series directly."""
+        if not self.enabled:
+            return
+        self.series.setdefault((name, node), []).append((x, float(value)))
+
+    def sample(self, x: float) -> None:
+        """Snapshot every counter and gauge at axis position ``x``."""
+        if not self.enabled:
+            return
+        self.samples_taken += 1
+        series = self.series
+        for key, c in self._counters.items():
+            series.setdefault(key, []).append((x, c.value))
+        for key, g in self._gauges.items():
+            series.setdefault(key, []).append((x, g.read()))
+
+    # ------------------------------------------------------------------
+    # read access
+    # ------------------------------------------------------------------
+    def names(self) -> List[str]:
+        keys = set(self.series)
+        keys.update(self._counters, self._gauges, self._histograms)
+        return sorted({name for name, _ in keys})
+
+    def series_by_name(self, name: str) -> Dict[int, List[Tuple[float, float]]]:
+        """``{node: points}`` for every node with a series under ``name``."""
+        return {
+            node: pts
+            for (n, node), pts in sorted(self.series.items())
+            if n == name
+        }
+
+    def get_series(self, name: str, node: int) -> List[Tuple[float, float]]:
+        return self.series.get((name, node), [])
+
+    def histograms_by_name(self, name: str) -> Dict[int, Histogram]:
+        return {
+            node: h
+            for (n, node), h in sorted(self._histograms.items())
+            if n == name
+        }
+
+    def histogram_names(self) -> List[str]:
+        return sorted({name for name, _ in self._histograms})

@@ -1,0 +1,238 @@
+"""Run reports: JSONL export and plain-text rendering of observed runs.
+
+A *run report* is the structured outcome of one observed cluster run:
+the registry's per-node time series, histogram summaries and end-of-run
+totals. It round-trips through JSONL — one self-describing record per
+line — so CI can parse it with nothing but ``json.loads``:
+
+* ``{"record": "header", ...}``   — run metadata (first line)
+* ``{"record": "series", ...}``   — one per (metric, node) series
+* ``{"record": "hist", ...}``     — one per (metric, node) histogram
+* ``{"record": "summary", ...}``  — end-of-run totals (last line)
+
+Rendering reuses the repo's ASCII reporting layer
+(:mod:`repro.metrics.report`), so Figure 4-style curves and overview
+tables come out of the same pipeline the paper harness uses.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Tuple
+
+from repro.metrics.report import Table, ascii_series, format_bytes
+from repro.observe.registry import CLUSTER_NODE, MetricsRegistry
+
+__all__ = [
+    "build_report",
+    "write_jsonl",
+    "load_jsonl",
+    "validate_report",
+    "render_report",
+    "KEY_SERIES",
+]
+
+#: series a healthy FT run report must contain (CI smoke asserts these):
+#: per-node stable+volatile log size and diff traffic over virtual time
+KEY_SERIES = (
+    "ft.log_volatile_bytes",
+    "ft.log_saved_bytes",
+    "dsm.diff_bytes_sent",
+)
+
+
+def build_report(
+    registry: MetricsRegistry,
+    meta: Dict[str, Any],
+    result: Any = None,
+) -> Dict[str, Any]:
+    """Assemble the structured run report from a sampled registry.
+
+    ``meta`` carries run identity (app, procs, ft, cadence); ``result``
+    is the cluster's :class:`~repro.cluster.RunResult` (optional — unit
+    tests build reports from bare registries).
+    """
+    series = [
+        {
+            "record": "series",
+            "metric": name,
+            "node": node,
+            "points": [[float(x), float(v)] for x, v in pts],
+        }
+        for (name, node), pts in sorted(registry.series.items())
+    ]
+    hists = []
+    for name in registry.histogram_names():
+        for node, h in registry.histograms_by_name(name).items():
+            hists.append(
+                {
+                    "record": "hist",
+                    "metric": name,
+                    "node": node,
+                    **h.summary(),
+                }
+            )
+    summary: Dict[str, Any] = {"record": "summary", "samples": registry.samples_taken}
+    if result is not None:
+        summary.update(
+            virtual_time=result.wall_time,
+            total_msgs=result.traffic.total_msgs,
+            total_bytes=result.traffic.total_bytes,
+            ft_bytes=result.traffic.ft_bytes,
+            crashes=result.crashes,
+            recoveries=result.recoveries,
+            checkpoints=sum(
+                s.checkpoints_taken for s in result.ft_stats if s is not None
+            ),
+        )
+    return {
+        "header": {"record": "header", "schema": 1, **meta},
+        "series": series,
+        "hists": hists,
+        "summary": summary,
+    }
+
+
+def write_jsonl(path: str, report: Dict[str, Any]) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(json.dumps(report["header"], sort_keys=True) + "\n")
+        for rec in report["series"]:
+            fh.write(json.dumps(rec, sort_keys=True) + "\n")
+        for rec in report["hists"]:
+            fh.write(json.dumps(rec, sort_keys=True) + "\n")
+        fh.write(json.dumps(report["summary"], sort_keys=True) + "\n")
+
+
+def load_jsonl(path: str) -> Dict[str, Any]:
+    """Parse a JSONL run report back into the structured form."""
+    out: Dict[str, Any] = {"header": None, "series": [], "hists": [], "summary": None}
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            rec = json.loads(line)
+            kind = rec.get("record")
+            if kind == "header":
+                out["header"] = rec
+            elif kind == "series":
+                out["series"].append(rec)
+            elif kind == "hist":
+                out["hists"].append(rec)
+            elif kind == "summary":
+                out["summary"] = rec
+            else:
+                raise ValueError(f"unknown run-report record: {rec!r}")
+    return out
+
+
+def validate_report(report: Dict[str, Any], require_ft: bool = True) -> List[str]:
+    """Sanity-check a (loaded) run report; returns human-readable errors."""
+    errors: List[str] = []
+    if not report.get("header"):
+        errors.append("missing header record")
+    if report.get("summary") is None:
+        errors.append("missing summary record")
+    by_metric: Dict[str, List[Dict[str, Any]]] = {}
+    for rec in report.get("series", ()):
+        by_metric.setdefault(rec["metric"], []).append(rec)
+    required = KEY_SERIES if require_ft else KEY_SERIES[-1:]
+    for name in required:
+        recs = by_metric.get(name)
+        if not recs:
+            errors.append(f"missing key series {name!r}")
+            continue
+        if all(not rec["points"] for rec in recs):
+            errors.append(f"key series {name!r} is empty on every node")
+    return errors
+
+
+# ---------------------------------------------------------------------------
+# rendering
+# ---------------------------------------------------------------------------
+def _node_series(
+    report: Dict[str, Any], metric: str
+) -> Dict[str, List[Tuple[float, float]]]:
+    out: Dict[str, List[Tuple[float, float]]] = {}
+    for rec in report["series"]:
+        if rec["metric"] != metric or not rec["points"]:
+            continue
+        label = "cluster" if rec["node"] == CLUSTER_NODE else f"p{rec['node']}"
+        out[label] = [(x, v) for x, v in rec["points"]]
+    return out
+
+
+def _last(points: List[Any]) -> float:
+    return float(points[-1][1]) if points else 0.0
+
+
+def render_report(report: Dict[str, Any]) -> str:
+    """Plain-text run report: overview table + key series charts."""
+    header = report.get("header") or {}
+    summary = report.get("summary") or {}
+    title = (
+        f"repro observe — {header.get('app', '?')} on "
+        f"{header.get('procs', '?')} simulated nodes"
+    )
+    parts: List[str] = []
+
+    per_node: Dict[int, Dict[str, float]] = {}
+    for rec in report["series"]:
+        node = rec["node"]
+        if node == CLUSTER_NODE:
+            continue
+        per_node.setdefault(node, {})[rec["metric"]] = _last(rec["points"])
+    overview = Table(
+        title,
+        ["node", "fetches", "diff sent", "log volatile", "log stable",
+         "ckpts", "trimmed"],
+        note=(
+            f"virtual time {summary.get('virtual_time', 0.0) * 1e3:.3f} ms, "
+            f"{summary.get('total_msgs', 0)} msgs, "
+            f"{summary.get('samples', 0)} samples"
+        ),
+    )
+    for node in sorted(per_node):
+        m = per_node[node]
+        overview.add(
+            f"p{node}",
+            int(m.get("dsm.page_fetches", 0)),
+            format_bytes(m.get("dsm.diff_bytes_sent", 0)),
+            format_bytes(m.get("ft.log_volatile_bytes", 0)),
+            format_bytes(m.get("ft.log_saved_bytes", 0)),
+            int(m.get("ft.checkpoints_taken", 0)),
+            format_bytes(m.get("ft.trim_diff_bytes", 0)),
+        )
+    parts.append(overview.render())
+
+    charts = [
+        ("ft.log_volatile_bytes", "log size (volatile) vs virtual time", "s", "bytes"),
+        ("dsm.diff_bytes_sent", "diff traffic vs virtual time", "s", "bytes"),
+        ("ft.log_disk_bytes", "stable log vs checkpoint number", "ckpt", "bytes"),
+        ("sim.events_per_vsec", "simulator events per virtual second", "s", "ev/s"),
+    ]
+    for metric, chart_title, xlabel, ylabel in charts:
+        series = _node_series(report, metric)
+        if series:
+            parts.append(
+                ascii_series(chart_title, series, xlabel=xlabel, ylabel=ylabel)
+            )
+
+    if report["hists"]:
+        waits = Table(
+            "synchronization waits",
+            ["metric", "node", "count", "mean", "max"],
+        )
+        for rec in report["hists"]:
+            if not rec["count"]:
+                continue
+            waits.add(
+                rec["metric"],
+                f"p{rec['node']}",
+                rec["count"],
+                f"{rec['mean'] * 1e6:.1f} us",
+                f"{rec['max'] * 1e6:.1f} us",
+            )
+        if waits.rows:
+            parts.append(waits.render())
+    return "\n\n".join(parts)

@@ -114,6 +114,11 @@ class Network:
         self._links: Dict[Tuple[int, int], Tuple[float, float]] = {}
         #: epoch counter: a flush invalidates every in-flight message
         self.epoch = 0
+        #: bytes/messages currently in flight (sent, not yet delivered);
+        #: maintained unconditionally — two int ops per message — so the
+        #: observability layer can sample channel occupancy passively
+        self.inflight_bytes = 0
+        self.inflight_msgs = 0
 
     def register(self, node_id: int, handler: Handler) -> None:
         """Install the message handler for endpoint ``node_id``."""
@@ -152,15 +157,21 @@ class Network:
         arrival = max(arrival, self._channel_clear[key])
         self._channel_clear[key] = arrival
         epoch = self.epoch
+        self.inflight_bytes += size
+        self.inflight_msgs += 1
         self.engine.schedule(
-            arrival - now, lambda: self._deliver(src, dst, payload, epoch)
+            arrival - now, lambda: self._deliver(src, dst, payload, epoch, size)
         )
 
     def flush_epoch(self) -> None:
         """Invalidate every message currently in flight (global rollback)."""
         self.epoch += 1
 
-    def _deliver(self, src: int, dst: int, payload: Any, epoch: int) -> None:
+    def _deliver(
+        self, src: int, dst: int, payload: Any, epoch: int, size: int = 0
+    ) -> None:
+        self.inflight_bytes -= size
+        self.inflight_msgs -= 1
         if epoch != self.epoch:
             return  # message belonged to a rolled-back epoch
         handler = self._handlers.get(dst)

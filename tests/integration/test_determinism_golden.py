@@ -103,6 +103,34 @@ def test_golden_unchanged_with_armed_breakpoint():
     assert got == GOLDEN[("counter", True)]
 
 
+def test_golden_unchanged_with_sampling_enabled():
+    """Observation must not perturb the observed run.
+
+    A ClusterObserver with both cadences on (virtual-time ticker at 1 ms
+    plus barrier-episode sampling) only reads state, so every timestamp
+    and traffic counter must still match the golden pins — the
+    observability layer's core guarantee (DESIGN.md §7).
+    """
+    from repro.observe import ClusterObserver
+
+    cluster = make_cluster(4, ft=True)
+    observer = ClusterObserver(cluster, interval=1e-3, sample_on_barrier=True)
+    result = cluster.run(make_app("counter"))
+    observer.sample()
+    traffic = result.traffic
+    got = {
+        "wall_time_hex": result.wall_time.hex(),
+        "total_bytes": traffic.total_bytes,
+        "total_msgs": traffic.total_msgs,
+        "bytes_by_category": dict(sorted(traffic.bytes_by_category.items())),
+        "msgs_by_category": dict(sorted(traffic.msgs_by_category.items())),
+    }
+    assert got == GOLDEN[("counter", True)]
+    # and the observer did actually observe
+    assert observer.registry.samples_taken > 10
+    assert observer.registry.series_by_name("ft.log_volatile_bytes")
+
+
 @pytest.mark.parametrize("profile", [False, True], ids=["plain", "profiled"])
 def test_bench_runs_deterministic_across_profile(profile):
     """The bench harness reports identical simulations with --profile on/off."""

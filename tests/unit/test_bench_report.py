@@ -1,0 +1,51 @@
+"""Unit tests for bench-result precision and the perf regression gate."""
+
+import json
+
+from repro.metrics.bench import BenchResult, check_report
+
+
+def test_rates_keep_float_precision():
+    # 0.4 events/sec used to round to 0 and poison the recorded baseline
+    r = BenchResult("slow", wall_s=10.0, events=4, ops=7)
+    d = r.as_dict()
+    assert d["events_per_sec"] == 0.4
+    assert d["ops_per_sec"] == 0.7
+    assert isinstance(d["events_per_sec"], float)
+
+
+def test_rates_zero_wall_time():
+    d = BenchResult("instant", wall_s=0.0, events=100).as_dict()
+    assert d["events_per_sec"] == 0.0
+
+
+def _write_baseline(path, events_per_sec):
+    payload = {"after": {"events_per_sec": events_per_sec}}
+    path.write_text(json.dumps(payload))
+
+
+def test_check_report_within_budget(tmp_path):
+    path = tmp_path / "bench.json"
+    _write_baseline(path, 1000.0)
+    ok, msg = check_report(str(path), {"events_per_sec": 800.0}, budget=0.30)
+    assert ok and "current=800.00" in msg
+    ok, _ = check_report(str(path), {"events_per_sec": 600.0}, budget=0.30)
+    assert not ok
+
+
+def test_check_report_tolerates_integer_baseline(tmp_path):
+    # BENCH_core.json files recorded before rates became floats store ints
+    path = tmp_path / "bench.json"
+    _write_baseline(path, 1000)
+    ok, msg = check_report(str(path), {"events_per_sec": 950.5}, budget=0.30)
+    assert ok
+    assert "baseline=1,000.00" in msg
+
+
+def test_check_report_rejects_bad_baseline(tmp_path):
+    path = tmp_path / "bench.json"
+    path.write_text(json.dumps({"after": {"events_per_sec": "n/a"}}))
+    ok, msg = check_report(str(path), {"events_per_sec": 100.0})
+    assert not ok and "no events_per_sec" in msg
+    ok, msg = check_report(str(tmp_path / "missing.json"), {"events_per_sec": 1.0})
+    assert not ok and "no baseline" in msg

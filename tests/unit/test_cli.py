@@ -64,6 +64,41 @@ def test_crashsweep_subcommand(tmp_path, capsys):
     assert payload["points"]
 
 
+def test_observe_subcommand(tmp_path, capsys):
+    out_path = tmp_path / "observe.jsonl"
+    rc = main([
+        "observe", "counter",
+        "--procs", "4", "--steps", "4",
+        "--out", str(out_path),
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "repro observe — counter on 4 simulated nodes" in out
+    assert f"written to {out_path}" in out
+
+    from repro.observe import load_jsonl, validate_report
+
+    report = load_jsonl(str(out_path))
+    assert validate_report(report) == []
+    assert report["header"]["ft"] is True
+
+
+def test_observe_subcommand_no_ft(tmp_path, capsys):
+    out_path = tmp_path / "observe_base.jsonl"
+    rc = main([
+        "observe", "counter",
+        "--procs", "4", "--steps", "2", "--no-ft",
+        "--out", str(out_path),
+    ])
+    assert rc == 0
+    from repro.observe import load_jsonl, validate_report
+
+    report = load_jsonl(str(out_path))
+    assert validate_report(report, require_ft=False) == []
+    # base runs carry no FT series at all
+    assert all(not r["metric"].startswith("ft.") for r in report["series"])
+
+
 def test_crashsweep_rejects_bad_class():
     with pytest.raises(SystemExit):
         # argparse exits on unknown app; unknown class raises ValueError

@@ -11,10 +11,24 @@ def test_format_bytes():
     assert format_bytes(3_500_000) == "3.50 MB"
 
 
+def test_format_bytes_negative():
+    # thresholds apply to the magnitude so deltas format symmetrically
+    assert format_bytes(-5_000_000) == "-5.00 MB"
+    assert format_bytes(-2048) == "-2.0 KB"
+    assert format_bytes(-5) == "-5 B"
+    assert format_bytes(0) == "0 B"
+
+
 def test_format_pct():
     assert format_pct(42.3) == "42 %"
     assert format_pct(3.14) == "3.1 %"
     assert format_pct(0.123) == "0.12 %"
+
+
+def test_format_pct_negative():
+    assert format_pct(-12.5) == "-12 %"
+    assert format_pct(-3.14) == "-3.1 %"
+    assert format_pct(-0.123) == "-0.12 %"
 
 
 def test_table_render_and_access():
@@ -56,5 +70,21 @@ def test_ascii_series_empty():
 
 
 def test_ascii_series_constant_series():
-    out = ascii_series("S", {"flat": [(0, 5.0), (1, 5.0)]})
+    height = 12
+    out = ascii_series("S", {"flat": [(0, 5.0), (1, 5.0)]}, height=height)
     assert "flat" in out
+    # a flat series still draws its marks, centered vertically instead of
+    # collapsed onto the bottom axis row
+    grid = [l[1:] for l in out.splitlines() if l.startswith("|")]
+    assert len(grid) == height
+    rows_with_marks = [i for i, r in enumerate(grid) if "o" in r]
+    assert rows_with_marks == [height // 2]
+    assert grid[height // 2].count("o") == 2
+
+
+def test_ascii_series_single_point():
+    out = ascii_series("S", {"pt": [(3.0, 7.0)]}, width=20, height=5)
+    grid = [l[1:] for l in out.splitlines() if l.startswith("|")]
+    # both ranges degenerate: the single mark is centered, not cornered
+    assert grid[5 // 2][20 // 2] == "o"
+    assert sum(r.count("o") for r in grid) == 1

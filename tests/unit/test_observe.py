@@ -1,0 +1,183 @@
+"""Unit tests for the observability layer (metrics registry + sampler)."""
+
+import pytest
+
+from repro.observe import (
+    CLUSTER_NODE,
+    ClusterObserver,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    build_report,
+    load_jsonl,
+    validate_report,
+    write_jsonl,
+)
+from repro.observe.registry import NULL_COUNTER, NULL_GAUGE, NULL_HISTOGRAM
+from tests.conftest import make_app, make_cluster
+
+
+# ---------------------------------------------------------------------------
+# metric primitives
+# ---------------------------------------------------------------------------
+def test_counter_monotonic():
+    c = Counter("c", 0)
+    c.inc()
+    c.inc(2.5)
+    assert c.value == 3.5
+    with pytest.raises(ValueError, match="monotonic"):
+        c.inc(-1)
+    assert c.value == 3.5
+
+
+def test_gauge_set_and_callback():
+    g = Gauge("g", 0)
+    assert g.read() == 0.0
+    g.set(7)
+    assert g.read() == 7.0
+    state = {"v": 1}
+    g2 = Gauge("g2", 0, fn=lambda: state["v"])
+    assert g2.read() == 1.0
+    state["v"] = 9
+    assert g2.read() == 9.0
+
+
+def test_histogram_buckets_and_summary():
+    h = Histogram("h", 0, bounds=(1.0, 2.0))
+    for v in (0.5, 1.5, 1.5, 5.0):
+        h.observe(v)
+    assert h.bucket_counts == [1, 2, 1]
+    s = h.summary()
+    assert s["count"] == 4
+    assert s["min"] == 0.5 and s["max"] == 5.0
+    assert s["mean"] == pytest.approx(8.5 / 4)
+    assert Histogram("empty", 0).summary() == {
+        "count": 0, "total": 0.0, "mean": 0.0, "min": 0.0, "max": 0.0,
+    }
+
+
+# ---------------------------------------------------------------------------
+# registry
+# ---------------------------------------------------------------------------
+def test_registry_interns_metrics():
+    reg = MetricsRegistry()
+    assert reg.counter("a", 1) is reg.counter("a", 1)
+    assert reg.counter("a", 1) is not reg.counter("a", 2)
+    assert reg.gauge("b", 1) is reg.gauge("b", 1)
+    assert reg.histogram("c", 1) is reg.histogram("c", 1)
+
+
+def test_registry_sample_snapshots_counters_and_gauges():
+    reg = MetricsRegistry()
+    c = reg.counter("hits", 3)
+    reg.gauge("depth", 3, fn=lambda: c.value * 10)
+    c.inc(2)
+    reg.sample(0.5)
+    c.inc()
+    reg.sample(1.5)
+    assert reg.get_series("hits", 3) == [(0.5, 2.0), (1.5, 3.0)]
+    assert reg.get_series("depth", 3) == [(0.5, 20.0), (1.5, 30.0)]
+    assert reg.samples_taken == 2
+    assert reg.series_by_name("hits") == {3: [(0.5, 2.0), (1.5, 3.0)]}
+    assert "hits" in reg.names() and "depth" in reg.names()
+
+
+def test_disabled_registry_is_inert():
+    reg = MetricsRegistry(enabled=False)
+    # factories hand out shared null singletons: no allocation, no state
+    assert reg.counter("a", 1) is NULL_COUNTER
+    assert reg.gauge("b", 1) is NULL_GAUGE
+    assert reg.histogram("c", 1) is NULL_HISTOGRAM
+    reg.counter("a", 1).inc(5)
+    reg.gauge("b", 1).set(5)
+    reg.histogram("c", 1).observe(5)
+    assert NULL_COUNTER.value == 0.0
+    assert NULL_GAUGE.read() == 0.0
+    assert NULL_HISTOGRAM.count == 0
+    reg.record("a", 1, 0.0, 1.0)
+    reg.sample(0.0)
+    assert reg.series == {}
+    assert reg.samples_taken == 0
+
+
+# ---------------------------------------------------------------------------
+# sampler cadence
+# ---------------------------------------------------------------------------
+def test_ticker_samples_at_interval():
+    cluster = make_cluster(num_procs=4, ft=True)
+    interval = 1e-3
+    obs = ClusterObserver(cluster, interval=interval, sample_on_barrier=False)
+    cluster.run(make_app("counter"))
+    xs = [x for x, _ in obs.registry.get_series("sim.events", CLUSTER_NODE)]
+    assert len(xs) >= 3
+    for a, b in zip(xs, xs[1:]):
+        assert b - a == pytest.approx(interval)
+
+
+def test_ticker_rejects_bad_interval():
+    cluster = make_cluster(num_procs=2, ft=False)
+    with pytest.raises(ValueError, match="interval"):
+        ClusterObserver(cluster, interval=0.0)
+
+
+def test_barrier_cadence_one_sample_per_episode():
+    cluster = make_cluster(num_procs=4, ft=True)
+    obs = ClusterObserver(cluster, interval=None, sample_on_barrier=True)
+    cluster.run(make_app("counter"))
+    barriers = obs.registry.series_by_name("dsm.barriers")
+    # every process crosses every barrier, but each episode samples once
+    episodes = max(v for _, v in barriers[0])
+    assert obs.registry.samples_taken == episodes
+    xs = [x for x, _ in barriers[0]]
+    assert xs == sorted(xs)
+
+
+def test_disabled_registry_observer_records_nothing():
+    cluster = make_cluster(num_procs=4, ft=True)
+    obs = ClusterObserver(
+        cluster,
+        registry=MetricsRegistry(enabled=False),
+        interval=1e-3,
+        sample_on_barrier=True,
+    )
+    cluster.run(make_app("counter"))
+    obs.sample()
+    assert obs.registry.series == {}
+    assert obs.registry.samples_taken == 0
+
+
+# ---------------------------------------------------------------------------
+# run reports
+# ---------------------------------------------------------------------------
+def test_report_roundtrip_and_validation(tmp_path):
+    reg = MetricsRegistry()
+    reg.counter("ft.log_volatile_bytes", 0).inc(10)
+    reg.counter("ft.log_saved_bytes", 0).inc(4)
+    reg.counter("dsm.diff_bytes_sent", 0).inc(2)
+    reg.histogram("dsm.fetch_wait_s", 0).observe(1e-4)
+    reg.sample(0.25)
+    report = build_report(reg, {"app": "unit"})
+    assert validate_report(report) == []
+    path = tmp_path / "report.jsonl"
+    write_jsonl(str(path), report)
+    again = load_jsonl(str(path))
+    assert again["header"]["app"] == "unit"
+    assert again["series"] == report["series"]
+    assert again["hists"] == report["hists"]
+
+
+def test_validate_report_flags_missing_series():
+    report = build_report(MetricsRegistry(), {"app": "unit"})
+    errors = validate_report(report)
+    assert any("ft.log_volatile_bytes" in e for e in errors)
+    # a base-protocol report only requires the DSM series
+    errors = validate_report(report, require_ft=False)
+    assert all("ft." not in e for e in errors)
+
+
+def test_load_jsonl_rejects_unknown_record(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text('{"record": "mystery"}\n')
+    with pytest.raises(ValueError, match="mystery"):
+        load_jsonl(str(path))
