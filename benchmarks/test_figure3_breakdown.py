@@ -43,3 +43,83 @@ def test_waters_ft_bars_close_to_base(experiments, benchmark):
     for name in ("water-nsq", "water-spatial"):
         total_ft = sum(data[name]["ft"].values())
         assert total_ft < 115.0, f"{name}: FT bar {total_ft:.1f}%"
+
+
+def test_critical_path_totals_reconcile_with_figure3(results_dir, benchmark):
+    """The two time-attribution systems — figure3()'s TimeBucket bars
+    and the span tracer's per-node self-times — must agree on the same
+    run, or one of them is lying. Cross-checked on the counter app,
+    which exercises every bucket (locks, barriers, fetches, ckpts)."""
+    from repro.apps.counter import CounterApp, CounterConfig
+    from repro.core import LogOverflowPolicy
+    from repro.harness.experiment import (
+        HARNESS_DISK,
+        NUM_PROCS,
+        AppSetup,
+        ExperimentResult,
+        run_base,
+    )
+    from repro.harness.figures import BREAKDOWN
+    from repro.observe.tracing import (
+        SpanTracer,
+        compute_critical_path,
+        node_time_totals,
+        reconcile_with_time_stats,
+        render_critpath_report,
+    )
+    from repro import DsmCluster, DsmConfig
+
+    setup = AppSetup(
+        "counter",
+        lambda: CounterApp(CounterConfig(steps=3, n_elements=512)),
+        l_fraction=0.1,
+        problem_size="512 elements, 3 steps",
+    )
+
+    def run_pair():
+        base = run_base(setup)
+        # FT run like run_ft(), but with the span tracer riding along
+        cluster = DsmCluster(
+            DsmConfig(num_procs=NUM_PROCS),
+            disk_config=HARNESS_DISK,
+            ft=True,
+            policy_factory=lambda pid, fp: LogOverflowPolicy(
+                setup.l_fraction, fp
+            ),
+        )
+        tracer = SpanTracer(cluster)
+        result = cluster.run(setup.make_app())
+        return base, ExperimentResult(setup, cluster, result), tracer
+
+    base, ft_exp, tracer = benchmark.pedantic(run_pair, rounds=1, iterations=1)
+
+    # the hard invariant first: per-node span self-times == TimeStats
+    assert tracer.validate() == []
+    assert reconcile_with_time_stats(tracer) == []
+
+    # then the figure-level cross-check: rebuild figure3's FT bars from
+    # the span DAG alone and compare percentage points
+    data = figure3({"counter": (base, ft_exp)})
+    totals = node_time_totals(tracer)
+    n = len(ft_exp.cluster.hosts)
+    norm = base.result.mean_time_stats.total or 1.0
+    checked = 0
+    for label, bucket in BREAKDOWN:
+        if bucket.value not in next(iter(totals.values())):
+            continue  # Overhead / Log & Ckp have no dedicated spans
+        span_pct = (
+            100.0
+            * sum(totals[pid][bucket.value] for pid in totals)
+            / n
+            / norm
+        )
+        fig_pct = data["counter"]["ft"][label]
+        assert abs(span_pct - fig_pct) < 0.5, (
+            f"{label}: span DAG says {span_pct:.2f}%, "
+            f"figure3 says {fig_pct:.2f}%"
+        )
+        checked += 1
+    assert checked == 4  # Computation + the three wait components
+
+    report = render_critpath_report(tracer, compute_critical_path(tracer))
+    emit(results_dir, "critpath_counter", report)

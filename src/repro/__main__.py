@@ -9,6 +9,7 @@ Examples::
     python -m repro bench --smoke --check
     python -m repro crashsweep counter --every 40 --classes lock,ckpt_write
     python -m repro observe counter --procs 4 --interval 1e-3
+    python -m repro trace counter --procs 4 --crash 2@0.5
 """
 
 from __future__ import annotations
@@ -101,11 +102,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="meta-cluster mode: split the cluster in two halves joined "
         "by a WAN link with this one-way latency",
     )
+    from repro.sim.trace import Tracer
+
     p.add_argument(
         "--trace",
         default=None,
         metavar="KINDS",
-        help="comma-separated trace kinds (send,lock,barrier,flush,fetch,ckpt,failure)",
+        # derived from Tracer.KINDS so the help can never drift from
+        # what the tracer actually accepts
+        help="comma-separated trace kinds (" + ",".join(sorted(Tracer.KINDS)) + ")",
     )
     p.add_argument("--trace-limit", type=int, default=60)
     p.add_argument("--scale", default="smoke", choices=["smoke", "default"],
@@ -332,6 +337,129 @@ def run_observe(argv: list) -> int:
     return 0
 
 
+def build_trace_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="python -m repro trace",
+        description="Run one workload with causal span tracing attached and "
+        "emit a Chrome trace-event JSON (loadable in Perfetto / "
+        "chrome://tracing) plus an ASCII critical-path report. Exits "
+        "nonzero if the span DAG is malformed or its per-node self-times "
+        "fail to reconcile with the TimeStats buckets.",
+    )
+    p.add_argument("app", choices=[a for a in APPS if a not in ("tables", "bench")])
+    p.add_argument("--procs", type=int, default=4, help="cluster size (default 4)")
+    p.add_argument("--steps", type=int, default=None, help="application steps")
+    p.add_argument("--size", type=int, default=None, help="problem size")
+    p.add_argument("--l", type=float, default=0.1, help="OF policy L fraction")
+    p.add_argument(
+        "--no-ft", action="store_true",
+        help="trace the base protocol instead of the fault-tolerant one",
+    )
+    p.add_argument(
+        "--crash",
+        metavar="PID@FRAC",
+        default=None,
+        help="fail-stop PID at FRAC of the failure-free runtime (e.g. 2@0.5); "
+        "requires fault tolerance",
+    )
+    p.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="trace JSON path (default benchmarks/results/TRACE_<app>.json)",
+    )
+    p.add_argument(
+        "--report", default=None, metavar="PATH",
+        help="critical-path report path "
+        "(default benchmarks/results/TRACE_<app>_critpath.txt)",
+    )
+    p.add_argument(
+        "--top", type=int, default=12,
+        help="critical-path segments to list in the report (default 12)",
+    )
+    return p
+
+
+def run_trace(argv: list) -> int:
+    import json
+    import os
+
+    from repro.observe.tracing import (
+        SpanTracer,
+        compute_critical_path,
+        reconcile_with_time_stats,
+        render_critpath_report,
+        to_chrome_trace,
+    )
+
+    args = build_trace_parser().parse_args(argv)
+    if args.crash and args.no_ft:
+        print("--crash requires fault tolerance (drop --no-ft)", file=sys.stderr)
+        return 2
+    ns = argparse.Namespace(
+        procs=args.procs, ft=not args.no_ft, coordinated=False, wan=None, l=args.l
+    )
+
+    # failure-free pass to learn the runtime if a crash is requested
+    crash_spec = None
+    if args.crash:
+        pid_s, frac_s = args.crash.split("@")
+        golden = make_cluster(ns)
+        t_free = golden.run(make_app(args.app, args.steps, args.size)).wall_time
+        crash_spec = (int(pid_s), float(frac_s) * t_free)
+
+    cluster = make_cluster(ns)
+    tracer = SpanTracer(cluster)
+    if crash_spec:
+        cluster.schedule_crash(*crash_spec)
+
+    t0 = time.time()
+    result = cluster.run(make_app(args.app, args.steps, args.size))
+    host_s = time.time() - t0
+
+    errors = tracer.validate()
+    errors += reconcile_with_time_stats(tracer)
+    segments = compute_critical_path(tracer)
+    report = render_critpath_report(tracer, segments, top=args.top)
+
+    print(f"app           {args.app} on {args.procs} simulated nodes "
+          f"({host_s:.1f}s host time)")
+    print(f"virtual time  {result.wall_time * 1e3:10.3f} ms")
+    if result.crashes:
+        print(f"failures      {result.crashes} crash(es), "
+              f"{result.recoveries} recover(ies)")
+    print()
+    print(report)
+
+    out = args.out or f"benchmarks/results/TRACE_{args.app}.json"
+    report_path = args.report or f"benchmarks/results/TRACE_{args.app}_critpath.txt"
+    for path in (out, report_path):
+        d = os.path.dirname(path)
+        if d:
+            os.makedirs(d, exist_ok=True)
+    trace_json = to_chrome_trace(
+        tracer,
+        meta={
+            "app": args.app,
+            "procs": args.procs,
+            "ft": not args.no_ft,
+            "crash": args.crash,
+            "wall_time_s": result.wall_time,
+        },
+    )
+    with open(out, "w") as fh:
+        json.dump(trace_json, fh)
+        fh.write("\n")
+    with open(report_path, "w") as fh:
+        fh.write(report + "\n")
+    print(f"\ntrace written to {out} ({len(trace_json['traceEvents'])} events)")
+    print(f"critical-path report written to {report_path}")
+
+    if errors:
+        for e in errors:
+            print(f"MALFORMED: {e}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: Optional[list] = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
@@ -339,6 +467,8 @@ def main(argv: Optional[list] = None) -> int:
         return run_crashsweep(argv[1:])
     if argv and argv[0] == "observe":
         return run_observe(argv[1:])
+    if argv and argv[0] == "trace":
+        return run_trace(argv[1:])
     args = build_parser().parse_args(argv)
 
     if args.app == "bench":
@@ -401,7 +531,16 @@ def main(argv: Optional[list] = None) -> int:
     if args.trace:
         from repro.sim.trace import Tracer
 
-        tracer = Tracer(cluster, kinds=args.trace.split(","))
+        kinds = set(args.trace.split(","))
+        unknown = kinds - Tracer.KINDS
+        if unknown:
+            print(
+                f"unknown trace kinds: {','.join(sorted(unknown))} "
+                f"(choose from {','.join(sorted(Tracer.KINDS))})",
+                file=sys.stderr,
+            )
+            return 2
+        tracer = Tracer(cluster, kinds=kinds)
     if crash_spec:
         cluster.schedule_crash(*crash_spec)
 

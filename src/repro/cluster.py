@@ -339,6 +339,12 @@ class DsmCluster:
         host = self.hosts[pid]
         if host.finished or (not host.live and not host.recovering):
             return  # already done, or already down awaiting recovery
+        # announce the fail-stop on the probe hook *before* the kill, so
+        # observers (flat tracer, span tracer) see the failure while the
+        # victim's state is still intact — the span tracer abandons the
+        # victim's open spans on this event
+        if self.probe is not None:
+            self.probe(pid, "failure", "fail-stop")
         self.crashes += 1
         host.crashed_count += 1
         host.last_crash_time = self.engine.now

@@ -297,6 +297,10 @@ class RecoveryManager:
         if ckpt is not None:
             self._restore_from_checkpoint(proto, ft, ckpt)
             host.state = ckpt.restore_app_state()
+            if cluster.probe is not None:
+                cluster.probe(
+                    self.pid, "recovery", f"restart_ckpt seqno={ckpt.seqno}"
+                )
         else:
             # restart from the virtual checkpoint 0: initial private
             # state and the *seeded* initial contents of homed pages

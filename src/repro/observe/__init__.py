@@ -28,19 +28,43 @@ from repro.observe.report import (
     validate_report,
     write_jsonl,
 )
+from repro.observe.tracing import (
+    CausalEdge,
+    CritSegment,
+    Span,
+    SpanTracer,
+    compute_critical_path,
+    node_time_totals,
+    per_cause_totals,
+    reconcile_with_time_stats,
+    render_critpath_report,
+    to_chrome_trace,
+    worst_lock_chains,
+)
 
 __all__ = [
     "CLUSTER_NODE",
+    "CausalEdge",
     "ClusterObserver",
     "Counter",
+    "CritSegment",
     "Gauge",
     "Histogram",
     "KEY_SERIES",
     "MetricsRegistry",
     "NodeProbe",
+    "Span",
+    "SpanTracer",
     "build_report",
+    "compute_critical_path",
     "load_jsonl",
+    "node_time_totals",
+    "per_cause_totals",
+    "reconcile_with_time_stats",
+    "render_critpath_report",
     "render_report",
+    "to_chrome_trace",
     "validate_report",
+    "worst_lock_chains",
     "write_jsonl",
 ]

@@ -1,0 +1,627 @@
+"""Causal span tracing: a span DAG with message edges over one run.
+
+A :class:`SpanTracer` attaches to a :class:`~repro.cluster.DsmCluster`
+*before* ``run`` and upgrades observability from flat events (the
+:class:`~repro.sim.trace.Tracer` timeline) to a **span DAG**: every
+blocking protocol operation becomes a span ``[t0, t1]`` on its node's
+timeline, and every message becomes a **causal edge** between the span
+that sent it and the node that received it. On top of the DAG live the
+critical-path analysis (``critpath.py``) and the Chrome trace-event
+export (``export.py``).
+
+Span kinds
+----------
+* op spans, opened/closed by wrapping the protocol coroutines:
+  ``app`` (one per incarnation of a node's application main),
+  ``compute``, ``fetch``, ``home_wait``, ``acquire``, ``barrier``,
+  ``flush`` (interval flush with dirty pages), ``ckpt`` (the whole
+  checkpoint operation);
+* probe spans, derived from ``cluster.probe`` events: ``ckpt_write``
+  (the stable-storage write, between the FT manager's existing
+  begin/end probes) and ``recovery`` (failure-detection to live
+  switch);
+* wait spans, created *retroactively* whenever the protocol charges a
+  wait bucket: ``page_wait``, ``lock_wait``, ``barrier_wait``. The
+  protocol calls ``cpu.stats.add(bucket, seconds)`` exactly once per
+  wait, at the instant the wait ends, with the exact waited duration —
+  so wait spans reconcile with the :class:`~repro.sim.node.TimeStats`
+  bucket totals *by construction* (the invariant
+  ``critpath.reconcile_with_time_stats`` checks).
+
+Read-only guarantee
+-------------------
+The tracer only wraps callables and records; it sends no messages,
+charges no CPU, schedules no events and never mutates protocol state
+(message identity is tracked in a side table keyed by ``id(msg)``, the
+same never-touch-the-payload discipline the observer uses for
+``cluster.probe``). The golden determinism test passes with a
+SpanTracer attached.
+
+Crash/recovery semantics
+------------------------
+A fail-stop closes every open span on the victim as ``abandoned`` (the
+cluster emits a ``failure`` probe before killing the incarnation).
+Recovery incarnations open fresh spans — ids are globally unique and
+every span carries its ``incarnation`` (the host's ``crashed_count`` at
+open), so the final incarnation's spans are exactly the ones that
+reconcile with the final :class:`TimeStats`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.dsm.messages import (
+    BarrierArrive,
+    BarrierRelease,
+    DiffMsg,
+    GrantInfo,
+    LockAcquireReq,
+    LockForward,
+    LockGrant,
+    PageFetchReply,
+    PageFetchReq,
+)
+from repro.sim.node import TimeBucket
+
+__all__ = ["Span", "CausalEdge", "SpanTracer", "WAIT_KINDS", "OP_KINDS"]
+
+#: wait-span kinds (retroactive spans mirroring the TimeStats buckets)
+WAIT_KINDS = ("page_wait", "lock_wait", "barrier_wait")
+
+#: op/probe span kinds
+OP_KINDS = (
+    "app",
+    "compute",
+    "fetch",
+    "home_wait",
+    "acquire",
+    "barrier",
+    "flush",
+    "ckpt",
+    "ckpt_write",
+    "recovery",
+)
+
+#: which op-span kinds enclose the wait spans of each bucket
+_WAIT_PARENTS = {
+    TimeBucket.PAGE_WAIT: ("fetch", "home_wait"),
+    TimeBucket.LOCK_WAIT: ("acquire",),
+    TimeBucket.BARRIER_WAIT: ("barrier",),
+}
+
+#: message types whose arrival legitimately ends a wait, per parent kind
+_WAIT_CAUSES = {
+    "fetch": ("PageFetchReply",),
+    "home_wait": ("DiffMsg",),
+    "acquire": ("LockGrant", "LockForward"),
+    "barrier": ("BarrierRelease",),
+}
+
+
+@dataclass
+class Span:
+    """One operation on one node's timeline."""
+
+    sid: int
+    pid: int
+    kind: str
+    t0: float
+    detail: str = ""
+    #: machine-readable operand (("page", (r, i)) / ("lock", id) /
+    #: ("barrier", episode)); used to match causal edges to waits
+    key: Optional[Tuple] = None
+    incarnation: int = 0
+    t1: float = -1.0
+    status: str = "open"  # open | closed | abandoned | dropped
+    parent: Optional[int] = None  # sid of the enclosing span (same pid)
+    cause_edge: Optional[int] = None  # eid of the edge that ended a wait
+    step0: int = -1
+    step1: int = -1
+
+    @property
+    def duration(self) -> float:
+        return max(0.0, self.t1 - self.t0) if self.t1 >= 0.0 else 0.0
+
+    def overlaps(self, a: float, b: float) -> bool:
+        return self.t1 > a and self.t0 < b
+
+
+@dataclass
+class CausalEdge:
+    """One message: a happens-before edge between two node timelines."""
+
+    eid: int
+    src: int
+    dst: int
+    t_send: float
+    msg_type: str
+    key: Tuple
+    src_span: Optional[int] = None  # sid of the span open at send
+    dst_span: Optional[int] = None  # sid of the span open at receive
+    t_recv: float = -1.0
+    status: str = "inflight"  # inflight | delivered | dropped
+
+
+def _edge_key(msg: Any) -> Tuple:
+    if isinstance(msg, (PageFetchReq, PageFetchReply, DiffMsg)):
+        return ("page", tuple(msg.page))
+    if isinstance(msg, (LockAcquireReq, LockForward, LockGrant, GrantInfo)):
+        return ("lock", msg.lock_id)
+    if isinstance(msg, (BarrierArrive, BarrierRelease)):
+        return ("barrier", msg.episode)
+    return ("msg", type(msg).__name__)
+
+
+class SpanTracer:
+    """Records a span DAG with causal edges for one cluster run.
+
+    Attach before ``cluster.run``; read ``spans`` / ``edges`` after.
+    Observation is strictly read-only (see module docstring).
+    """
+
+    def __init__(
+        self,
+        cluster: Any,
+        max_spans: int = 2_000_000,
+        max_edges: int = 2_000_000,
+    ) -> None:
+        self.cluster = cluster
+        self.engine = cluster.engine
+        self.max_spans = max_spans
+        self.max_edges = max_edges
+        self.spans: List[Span] = []
+        self.edges: List[CausalEdge] = []
+        #: (pid, time) per observed fail-stop, in order — the critical
+        #: path uses these to attribute detection windows (crash ->
+        #: recovery begin) on the victim's timeline
+        self.crash_points: List[Tuple[int, float]] = []
+        self.dropped_spans = 0
+        self.dropped_edges = 0
+        #: open spans per pid, in open order (innermost last). A plain
+        #: list, not a stack: probe spans (recovery) legally close out
+        #: of LIFO order.
+        self._open: Dict[int, List[Span]] = {}
+        #: in-flight edges keyed by id(msg); FIFO per object identity
+        #: (an object re-sent while still in flight appends)
+        self._inflight: Dict[int, List[CausalEdge]] = {}
+        #: delivered edges per destination pid, in arrival order
+        self._delivered: Dict[int, List[CausalEdge]] = {}
+        self._install()
+
+    # ------------------------------------------------------------------
+    # span bookkeeping
+    # ------------------------------------------------------------------
+    def _open_span(
+        self,
+        pid: int,
+        kind: str,
+        detail: str = "",
+        key: Optional[Tuple] = None,
+    ) -> Span:
+        now, step = self.engine.mark()
+        open_list = self._open.setdefault(pid, [])
+        parent = open_list[-1].sid if open_list else None
+        span = Span(
+            sid=len(self.spans),
+            pid=pid,
+            kind=kind,
+            t0=now,
+            detail=detail,
+            key=key,
+            incarnation=self.cluster.hosts[pid].crashed_count,
+            parent=parent,
+            step0=step,
+        )
+        if len(self.spans) >= self.max_spans:
+            self.dropped_spans += 1
+            span.status = "dropped"
+            return span
+        self.spans.append(span)
+        open_list.append(span)
+        return span
+
+    def _close_span(self, span: Span, status: str = "closed") -> None:
+        if span.status != "open":
+            return  # already abandoned by a crash, or dropped at the cap
+        span.t1, span.step1 = self.engine.mark()
+        span.status = status
+        open_list = self._open.get(span.pid)
+        if open_list is not None:
+            for i in range(len(open_list) - 1, -1, -1):
+                if open_list[i] is span:
+                    del open_list[i]
+                    break
+
+    def _innermost(self, pid: int, kinds: Optional[Tuple[str, ...]] = None):
+        open_list = self._open.get(pid)
+        if not open_list:
+            return None
+        if kinds is None:
+            return open_list[-1]
+        for span in reversed(open_list):
+            if span.kind in kinds:
+                return span
+        return None
+
+    def _abandon_all(self, pid: int) -> None:
+        now, step = self.engine.mark()
+        for span in self._open.get(pid, ()):
+            span.t1 = now
+            span.step1 = step
+            span.status = "abandoned"
+        self._open[pid] = []
+
+    # ------------------------------------------------------------------
+    # wait spans (retroactive, exact by construction)
+    # ------------------------------------------------------------------
+    def _on_wait(self, proto: Any, bucket: TimeBucket, seconds: float) -> None:
+        parent_kinds = _WAIT_PARENTS.get(bucket)
+        if parent_kinds is None:
+            return
+        pid = proto.pid
+        now = self.engine.now
+        t0 = now - seconds
+        parent = self._innermost(pid, parent_kinds)
+        cause = None
+        if parent is not None and parent.key is not None:
+            cause = self._find_cause(pid, parent.kind, parent.key, t0)
+        span = Span(
+            sid=len(self.spans),
+            pid=pid,
+            kind=bucket.value,
+            t0=t0,
+            detail=parent.detail if parent is not None else "",
+            key=parent.key if parent is not None else None,
+            incarnation=self.cluster.hosts[pid].crashed_count,
+            t1=now,
+            status="closed",
+            parent=parent.sid if parent is not None else None,
+            cause_edge=cause.eid if cause is not None else None,
+            step0=self.engine.steps,
+            step1=self.engine.steps,
+        )
+        if len(self.spans) >= self.max_spans:
+            self.dropped_spans += 1
+            return
+        self.spans.append(span)
+
+    def _find_cause(
+        self, pid: int, parent_kind: str, key: Tuple, t0: float
+    ) -> Optional[CausalEdge]:
+        """The most recent delivery that can have ended this wait.
+
+        Scans the pid's arrival history backwards, bounded by the wait's
+        start; returns None for locally satisfied waits (self-grants,
+        manager-local barrier completion — the barrier case falls back
+        to the last ``BarrierArrive``, i.e. the straggler).
+        """
+        arrivals = self._delivered.get(pid)
+        if not arrivals:
+            return None
+        wanted = _WAIT_CAUSES[parent_kind]
+        fallback = None
+        for edge in reversed(arrivals):
+            if edge.t_recv < t0 - 1e-12:
+                break
+            if edge.key != key:
+                continue
+            if edge.msg_type in wanted:
+                return edge
+            if (
+                parent_kind == "barrier"
+                and edge.msg_type == "BarrierArrive"
+                and fallback is None
+            ):
+                fallback = edge
+        return fallback
+
+    # ------------------------------------------------------------------
+    # installation
+    # ------------------------------------------------------------------
+    def _install(self) -> None:
+        cluster = self.cluster
+        tracer = self
+
+        # message sends -> causal edges (side table; payload untouched)
+        orig_send = cluster.send
+
+        def send(src: int, dst: int, msg: Any) -> None:
+            if len(tracer.edges) >= tracer.max_edges:
+                tracer.dropped_edges += 1
+            else:
+                open_span = tracer._innermost(src)
+                edge = CausalEdge(
+                    eid=len(tracer.edges),
+                    src=src,
+                    dst=dst,
+                    t_send=tracer.engine.now,
+                    msg_type=type(msg).__name__,
+                    key=_edge_key(msg),
+                    src_span=open_span.sid if open_span is not None else None,
+                )
+                tracer.edges.append(edge)
+                tracer._inflight.setdefault(id(msg), []).append(edge)
+            orig_send(src, dst, msg)
+
+        cluster.send = send
+
+        # deliveries close the edges (epoch-flushed messages are dropped,
+        # not dangling — the coordinated baseline's global rollback)
+        network = cluster.network
+        orig_deliver = network._deliver
+
+        def _deliver(
+            src: int, dst: int, payload: Any, epoch: int, size: int = 0
+        ) -> None:
+            pending = tracer._inflight.get(id(payload))
+            if pending:
+                edge = pending.pop(0)
+                if not pending:
+                    del tracer._inflight[id(payload)]
+                if epoch != network.epoch:
+                    edge.status = "dropped"
+                else:
+                    edge.t_recv = tracer.engine.now
+                    edge.status = "delivered"
+                    open_span = tracer._innermost(dst)
+                    edge.dst_span = (
+                        open_span.sid if open_span is not None else None
+                    )
+                    tracer._delivered.setdefault(dst, []).append(edge)
+            orig_deliver(src, dst, payload, epoch, size)
+
+        network._deliver = _deliver
+
+        # every protocol incarnation (setup AND recovery) flows through
+        # host.make_protocol — wrapping it here is what lets spans
+        # survive crash/recovery without touching the recovery code
+        for host in cluster.hosts:
+            self._hook_host(host)
+
+        # one app span per incarnation (start() and recovery both call
+        # cluster._app_main through the instance attribute)
+        orig_app_main = cluster._app_main
+
+        def _app_main(host: Any):
+            span = tracer._open_span(
+                host.pid, "app", f"incarnation {host.crashed_count}"
+            )
+            try:
+                result = yield from orig_app_main(host)
+            finally:
+                tracer._close_span(span)
+            return result
+
+        cluster._app_main = _app_main
+
+        # checkpoint spans need the FtManager, which is (re)created by
+        # _install_ft at setup and at every recovery
+        orig_install_ft = cluster._install_ft
+
+        def _install_ft(host: Any) -> None:
+            orig_install_ft(host)
+            tracer._hook_ft(host)
+
+        cluster._install_ft = _install_ft
+
+        # probe events: failure (abandon open spans), ckpt_write
+        # begin/end, recovery lifecycle; chain onto any consumer
+        orig_probe = cluster.probe
+
+        def probe(pid: int, kind: str, detail: str) -> None:
+            tracer._on_probe(pid, kind, detail)
+            if orig_probe is not None:
+                orig_probe(pid, kind, detail)
+
+        cluster.probe = probe
+
+    def _hook_host(self, host: Any) -> None:
+        tracer = self
+        orig_make = host.make_protocol
+
+        def make_protocol() -> Any:
+            proto = orig_make()
+            tracer._hook_proto(proto)
+            return proto
+
+        host.make_protocol = make_protocol
+
+    def _hook_proto(self, proto: Any) -> None:
+        """Wrap one incarnation's blocking operations and wait charges."""
+        tracer = self
+        pid = proto.pid
+
+        # exact wait spans: the protocol calls stats.add once per wait,
+        # at the instant it ends, with the exact duration
+        stats = proto.cpu.stats
+        orig_add = stats.add
+
+        def add(bucket: TimeBucket, seconds: float) -> None:
+            orig_add(bucket, seconds)
+            tracer._on_wait(proto, bucket, seconds)
+
+        stats.add = add
+
+        def wrap(name: str, kind: str, detail_fn=None, key_fn=None, skip=None):
+            orig = getattr(proto, name)
+
+            def wrapped(*args: Any):
+                if skip is not None and skip(*args):
+                    result = yield from orig(*args)
+                    return result
+                span = tracer._open_span(
+                    pid,
+                    kind,
+                    detail_fn(*args) if detail_fn is not None else "",
+                    key_fn(*args) if key_fn is not None else None,
+                )
+                try:
+                    result = yield from orig(*args)
+                finally:
+                    tracer._close_span(span)
+                return result
+
+            setattr(proto, name, wrapped)
+
+        wrap("compute", "compute")
+        wrap(
+            "_fetch",
+            "fetch",
+            detail_fn=lambda page, entry: f"page {tuple(page)}",
+            key_fn=lambda page, entry: ("page", tuple(page)),
+        )
+        wrap(
+            "_ensure_home_ready",
+            "home_wait",
+            detail_fn=lambda page, entry: f"page {tuple(page)}",
+            key_fn=lambda page, entry: ("page", tuple(page)),
+            # pure pre-check mirroring _ensure_home_ready's wait
+            # condition: only actual home waits get a span
+            skip=lambda page, entry: (
+                proto.replay is not None
+                or entry.needed_v is None
+                or proto.home[page].ready_for(entry.needed_v)
+            ),
+        )
+        wrap(
+            "acquire",
+            "acquire",
+            detail_fn=lambda lock_id: f"L{lock_id}",
+            key_fn=lambda lock_id: ("lock", lock_id),
+        )
+        wrap(
+            "barrier",
+            "barrier",
+            detail_fn=lambda: f"ep{proto.barrier_episode}",
+            key_fn=lambda: ("barrier", proto.barrier_episode),
+        )
+        wrap(
+            "_end_interval",
+            "flush",
+            detail_fn=lambda: f"{len(proto._dirty)} dirty",
+            skip=lambda: not proto._dirty,
+        )
+
+    def _hook_ft(self, host: Any) -> None:
+        tracer = self
+        ft = host.ft
+        take = getattr(ft, "take_checkpoint", None)
+        if take is None:
+            return
+
+        def take_checkpoint(*args: Any, **kwargs: Any):
+            span = tracer._open_span(host.pid, "ckpt")
+            try:
+                result = yield from take(*args, **kwargs)
+                span.detail = f"#{ft.stats.checkpoints_taken}"
+            finally:
+                tracer._close_span(span)
+            return result
+
+        ft.take_checkpoint = take_checkpoint
+
+    def _on_probe(self, pid: int, kind: str, detail: str) -> None:
+        if kind == "failure":
+            # emitted by cluster.crash after its guard, before the kill:
+            # everything open on the victim dies with the incarnation
+            self.crash_points.append((pid, self.engine.now))
+            self._abandon_all(pid)
+        elif kind == "ckpt_write":
+            if detail.startswith("begin"):
+                self._open_span(pid, "ckpt_write", detail)
+            else:
+                span = self._innermost(pid, ("ckpt_write",))
+                if span is not None:
+                    self._close_span(span)
+        elif kind == "recovery":
+            if detail.startswith("begin"):
+                self._open_span(pid, "recovery", detail)
+            elif detail == "live":
+                span = self._innermost(pid, ("recovery",))
+                if span is not None:
+                    self._close_span(span)
+            else:
+                # annotation (discarded_torn, restart_ckpt, ...)
+                span = self._innermost(pid, ("recovery",))
+                if span is not None:
+                    span.detail += f"; {detail}"
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def spans_by_kind(self, kind: str, pid: Optional[int] = None) -> List[Span]:
+        return [
+            s
+            for s in self.spans
+            if s.kind == kind and (pid is None or s.pid == pid)
+        ]
+
+    def open_spans(self) -> List[Span]:
+        return [s for s in self.spans if s.status == "open"]
+
+    def abandoned_spans(self, pid: Optional[int] = None) -> List[Span]:
+        return [
+            s
+            for s in self.spans
+            if s.status == "abandoned" and (pid is None or s.pid == pid)
+        ]
+
+    def delivered_edges(self) -> List[CausalEdge]:
+        return [e for e in self.edges if e.status == "delivered"]
+
+    def validate(self) -> List[str]:
+        """Structural DAG checks; empty list = well-formed.
+
+        Errors: unclosed spans after a completed run (every node is live
+        or finished by then), time-reversed spans/edges, dangling parent
+        or edge references, dropped edges without a rollback epoch, and
+        hitting the span/edge caps (the DAG would be incomplete).
+        """
+        errors: List[str] = []
+        sids = {s.sid for s in self.spans}
+        for s in self.spans:
+            if s.status == "open":
+                errors.append(
+                    f"unclosed span on live node: sid={s.sid} p{s.pid} "
+                    f"{s.kind} opened at {s.t0:.6g}"
+                )
+                continue
+            if s.t1 + 1e-12 < s.t0:
+                errors.append(
+                    f"span ends before it starts: sid={s.sid} p{s.pid} "
+                    f"{s.kind} [{s.t0:.6g}, {s.t1:.6g}]"
+                )
+            if s.parent is not None and s.parent not in sids:
+                errors.append(
+                    f"dangling parent: sid={s.sid} -> {s.parent}"
+                )
+            if s.cause_edge is not None and not (
+                0 <= s.cause_edge < len(self.edges)
+            ):
+                errors.append(
+                    f"dangling cause edge: sid={s.sid} -> eid={s.cause_edge}"
+                )
+        for e in self.edges:
+            if e.src_span is not None and e.src_span not in sids:
+                errors.append(
+                    f"dangling edge source span: eid={e.eid} -> {e.src_span}"
+                )
+            if e.status == "delivered" and e.t_recv + 1e-12 < e.t_send:
+                errors.append(
+                    f"edge received before sent: eid={e.eid} "
+                    f"{e.msg_type} p{e.src}->p{e.dst}"
+                )
+            if e.status == "dropped" and self.cluster.network.epoch == 0:
+                errors.append(
+                    f"edge dropped without a rollback epoch: eid={e.eid} "
+                    f"{e.msg_type} p{e.src}->p{e.dst}"
+                )
+        if self.dropped_spans or self.dropped_edges:
+            errors.append(
+                f"capacity exceeded: {self.dropped_spans} spans / "
+                f"{self.dropped_edges} edges dropped — DAG incomplete "
+                "(raise max_spans/max_edges)"
+            )
+        return errors

@@ -210,6 +210,16 @@ class Engine:
         self._seq = seq + 1
         self._ready.append((self.now, seq, fn))
 
+    def mark(self) -> Tuple[float, int]:
+        """Current ``(virtual time, executed step count)``.
+
+        The stamp used by observers (span tracing) to timestamp span
+        opens/closes without reaching into engine internals; ``steps``
+        is the same step index ``break_at_step`` addresses, which is
+        what makes span stamps cross-referenceable with crash points.
+        """
+        return (self.now, self.steps)
+
     def break_at_step(self, step: int, fn: Callable[[], None]) -> None:
         """Run ``fn()`` right after the ``step``-th event executes.
 

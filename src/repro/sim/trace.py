@@ -33,9 +33,12 @@ class TraceEvent:
     step: int = -1
 
     def render(self) -> str:
+        # a negative step means "emitted before the engine ran any
+        # event" (e.g. during setup) — render a placeholder, not #-1
+        step = f"{self.step:<7d}" if self.step >= 0 else f"{'——':<7}"
         return (
             f"{self.time * 1e3:10.4f} ms "
-            f"#{self.step:<7d} p{self.pid}  {self.kind:<10} {self.detail}"
+            f"#{step} p{self.pid}  {self.kind:<10} {self.detail}"
         )
 
 
@@ -118,17 +121,8 @@ class Tracer:
 
         cluster.setup = setup
 
-        # failure path
-        orig_crash = cluster.crash
-
-        def crash(pid: int) -> None:
-            tracer._emit(pid, "failure", "fail-stop")
-            orig_crash(pid)
-
-        cluster.crash = crash
-
-        # probe events (ckpt_write begin/end, recovery lifecycle): chain
-        # onto any consumer already attached
+        # probe events (failure fail-stops, ckpt_write begin/end,
+        # recovery lifecycle): chain onto any consumer already attached
         orig_probe = cluster.probe
 
         def probe(pid: int, kind: str, detail: str) -> None:
@@ -223,10 +217,33 @@ class Tracer:
             out[e.kind] = out.get(e.kind, 0) + 1
         return out
 
-    def render(self, limit: int = 100) -> str:
-        lines = [e.render() for e in self.events[:limit]]
-        if len(self.events) > limit:
-            lines.append(f"... {len(self.events) - limit} more events")
+    def render(
+        self,
+        limit: int = 100,
+        kind: Optional[str] = None,
+        pid: Optional[int] = None,
+        since: Optional[float] = None,
+        until: Optional[float] = None,
+    ) -> str:
+        """A timeline of (up to ``limit``) events.
+
+        ``kind``/``pid`` select an event class or node; ``since``/
+        ``until`` bound the virtual-time window (seconds, inclusive) —
+        so a crash-sweep debugging session can zoom straight to the
+        events around an injected crash point instead of slicing
+        ``tracer.events`` by hand.
+        """
+        events = [
+            e
+            for e in self.events
+            if (kind is None or e.kind == kind)
+            and (pid is None or e.pid == pid)
+            and (since is None or e.time >= since)
+            and (until is None or e.time <= until)
+        ]
+        lines = [e.render() for e in events[:limit]]
+        if len(events) > limit:
+            lines.append(f"... {len(events) - limit} more events")
         if self.dropped:
             lines.append(f"... {self.dropped} events dropped (max_events)")
         return "\n".join(lines)

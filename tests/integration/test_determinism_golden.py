@@ -131,6 +131,38 @@ def test_golden_unchanged_with_sampling_enabled():
     assert observer.registry.series_by_name("ft.log_volatile_bytes")
 
 
+def test_golden_unchanged_with_span_tracing_enabled():
+    """Span tracing must not perturb the traced run.
+
+    The SpanTracer wraps sends, deliveries and protocol coroutines but
+    only records: no messages, no CPU charges, no clock perturbation.
+    Every timestamp and traffic counter must still match the golden
+    pins — the span DAG is an observation, not a participant
+    (DESIGN.md §8).
+    """
+    from repro.observe.tracing import SpanTracer
+
+    cluster = make_cluster(4, ft=True)
+    tracer = SpanTracer(cluster)
+    result = cluster.run(make_app("counter"))
+    traffic = result.traffic
+    got = {
+        "wall_time_hex": result.wall_time.hex(),
+        "total_bytes": traffic.total_bytes,
+        "total_msgs": traffic.total_msgs,
+        "bytes_by_category": dict(sorted(traffic.bytes_by_category.items())),
+        "msgs_by_category": dict(sorted(traffic.msgs_by_category.items())),
+    }
+    assert got == GOLDEN[("counter", True)]
+    # and the tracer did actually trace: spans for every kind of
+    # blocking operation, one causal edge per sent message
+    assert not tracer.validate()
+    assert len(tracer.edges) == traffic.total_msgs
+    kinds = {s.kind for s in tracer.spans}
+    assert {"app", "compute", "fetch", "acquire", "barrier", "flush",
+            "ckpt", "ckpt_write"} <= kinds
+
+
 @pytest.mark.parametrize("profile", [False, True], ids=["plain", "profiled"])
 def test_bench_runs_deterministic_across_profile(profile):
     """The bench harness reports identical simulations with --profile on/off."""

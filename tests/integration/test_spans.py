@@ -1,0 +1,244 @@
+"""Tests for causal span tracing: DAG structure, critical path,
+TimeStats reconciliation, and the Chrome trace export."""
+
+import json
+
+import pytest
+
+from repro.observe.tracing import (
+    SpanTracer,
+    WAIT_KINDS,
+    compute_critical_path,
+    node_time_totals,
+    per_cause_totals,
+    reconcile_with_time_stats,
+    render_critpath_report,
+    to_chrome_trace,
+    worst_lock_chains,
+)
+from repro.sim.node import TimeBucket
+
+from tests.conftest import make_app, make_cluster
+
+
+def traced_run(num_procs=4, ft=True, app="counter", **overrides):
+    cluster = make_cluster(num_procs=num_procs, ft=ft, l_fraction=0.1)
+    tracer = SpanTracer(cluster)
+    result = cluster.run(make_app(app, **overrides))
+    return cluster, tracer, result
+
+
+# ----------------------------------------------------------------------
+# span DAG structure
+# ----------------------------------------------------------------------
+def test_span_dag_basics():
+    cluster, tracer, result = traced_run()
+    assert tracer.validate() == []
+    assert not tracer.open_spans()
+    kinds = {s.kind for s in tracer.spans}
+    assert {"app", "compute", "fetch", "acquire", "barrier", "flush",
+            "ckpt", "ckpt_write"} <= kinds
+    # one app span per node, closed at the end of the run
+    apps = tracer.spans_by_kind("app")
+    assert len(apps) == 4
+    assert all(s.status == "closed" for s in apps)
+    assert max(s.t1 for s in apps) == pytest.approx(result.wall_time)
+    # spans are stamped with engine steps, nondecreasing per span
+    assert all(0 <= s.step0 <= s.step1 for s in tracer.spans)
+    # parents resolve and are on the same node
+    by_sid = {s.sid: s for s in tracer.spans}
+    for s in tracer.spans:
+        if s.parent is not None:
+            assert by_sid[s.parent].pid == s.pid
+
+
+def test_every_message_becomes_an_edge():
+    cluster, tracer, result = traced_run()
+    assert len(tracer.edges) == result.traffic.total_msgs
+    delivered = tracer.delivered_edges()
+    # a failure-free LAN run delivers everything that is not still in
+    # flight when the last app finishes (e.g. trailing GrantInfo)
+    assert len(delivered) >= len(tracer.edges) - cluster.config.num_procs
+    for e in delivered:
+        assert e.t_recv >= e.t_send
+        assert e.src != e.dst
+
+
+def test_wait_spans_carry_causes():
+    cluster, tracer, _ = traced_run()
+    waits = [s for s in tracer.spans if s.kind in WAIT_KINDS]
+    assert waits, "counter app must produce wait spans"
+    caused = [s for s in waits if s.cause_edge is not None]
+    assert caused, "some waits must be ended by a message"
+    for s in caused:
+        e = tracer.edges[s.cause_edge]
+        assert e.dst == s.pid
+        # the cause arrives while the wait is in progress
+        assert s.t0 - 1e-12 <= e.t_recv <= s.t1 + 1e-12
+
+
+def test_fetch_wait_cause_is_page_reply():
+    cluster, tracer, _ = traced_run()
+    page_waits = [
+        s for s in tracer.spans
+        if s.kind == "page_wait" and s.cause_edge is not None
+    ]
+    assert page_waits
+    for s in page_waits:
+        e = tracer.edges[s.cause_edge]
+        assert e.msg_type in ("PageFetchReply", "DiffMsg")
+        assert e.key == s.key
+
+
+# ----------------------------------------------------------------------
+# reconciliation with TimeStats (the tentpole invariant)
+# ----------------------------------------------------------------------
+def test_wait_spans_reconcile_exactly_with_time_stats():
+    cluster, tracer, _ = traced_run()
+    assert reconcile_with_time_stats(tracer) == []
+    totals = node_time_totals(tracer)
+    for host in cluster.hosts:
+        stats = host.proto.cpu.stats
+        for bucket in (TimeBucket.COMPUTE, TimeBucket.PAGE_WAIT,
+                       TimeBucket.LOCK_WAIT, TimeBucket.BARRIER_WAIT):
+            assert totals[host.pid][bucket.value] == pytest.approx(
+                stats.seconds[bucket], rel=1e-9, abs=1e-12
+            )
+
+
+def test_reconciliation_detects_divergence():
+    cluster, tracer, _ = traced_run()
+    # poison one node's stats: the cross-check must notice
+    cluster.hosts[1].proto.cpu.stats.seconds[TimeBucket.LOCK_WAIT] += 1.0
+    errors = reconcile_with_time_stats(tracer)
+    assert errors and any("p1 lock_wait" in e for e in errors)
+
+
+# ----------------------------------------------------------------------
+# critical path
+# ----------------------------------------------------------------------
+def test_critical_path_covers_the_run():
+    cluster, tracer, result = traced_run()
+    segments = compute_critical_path(tracer)
+    assert segments
+    # chronological, contiguous in time, ending at the wall time
+    assert segments[0].t0 == pytest.approx(0.0, abs=1e-12)
+    assert segments[-1].t1 == pytest.approx(result.wall_time)
+    for a, b in zip(segments, segments[1:]):
+        assert b.t0 == pytest.approx(a.t1, abs=1e-9)
+    total = sum(s.duration for s in segments)
+    assert total == pytest.approx(result.wall_time, rel=1e-6)
+
+
+def test_critical_path_attributes_checkpoint_disk():
+    cluster, tracer, _ = traced_run()
+    totals = per_cause_totals(compute_critical_path(tracer))
+    # the counter app at L=0.1 checkpoints repeatedly; disk seeks
+    # dominate its FT run, and the path must say so
+    assert totals.get("ckpt-disk", 0.0) > 0.0
+    assert totals.get("compute", 0.0) > 0.0
+
+
+def test_worst_lock_chains_and_report():
+    cluster, tracer, _ = traced_run()
+    chains = worst_lock_chains(tracer)
+    assert chains
+    lock_id, total, n, worst = chains[0]
+    assert n >= len(worst) >= 1
+    assert total >= sum(s.duration for s in worst)
+    report = render_critpath_report(tracer, compute_critical_path(tracer))
+    assert "critical path:" in report
+    assert "per-cause totals" in report
+    assert f"L{lock_id}" in report
+    assert "reconciliation: span self-times match" in report
+
+
+# ----------------------------------------------------------------------
+# Chrome trace export
+# ----------------------------------------------------------------------
+def test_chrome_trace_structure():
+    cluster, tracer, result = traced_run()
+    trace = to_chrome_trace(tracer, meta={"app": "counter"})
+    # round-trips through JSON (what Perfetto loads)
+    trace = json.loads(json.dumps(trace))
+    events = trace["traceEvents"]
+    assert trace["otherData"]["app"] == "counter"
+    phases = {}
+    for ev in events:
+        phases.setdefault(ev["ph"], []).append(ev)
+    # process/thread metadata for every node
+    names = {
+        (m["pid"], m["args"]["name"])
+        for m in phases["M"] if m["name"] == "process_name"
+    }
+    assert names == {(pid, f"node {pid}") for pid in range(4)}
+    # complete events in microseconds of virtual time
+    assert phases["X"]
+    assert all(ev["dur"] >= 0 for ev in phases["X"])
+    assert max(
+        ev["ts"] + ev["dur"] for ev in phases["X"]
+    ) == pytest.approx(result.wall_time * 1e6)
+    # flow events pair up by id: one s and one f per delivered edge
+    starts = {ev["id"] for ev in phases["s"]}
+    finishes = {ev["id"] for ev in phases["f"]}
+    assert starts == finishes
+    assert len(starts) == len(tracer.delivered_edges())
+    assert all(ev["bp"] == "e" for ev in phases["f"])
+
+
+def test_chrome_trace_tracks_nest_properly():
+    """Per (pid, tid) track, "X" events must nest like a call stack —
+    Perfetto renders overlap-without-containment wrong."""
+    cluster, tracer, _ = traced_run()
+    events = to_chrome_trace(tracer)["traceEvents"]
+    eps = 1e-6  # sub-microsecond jitter tolerance (ts is in us)
+    tracks = {}
+    for ev in events:
+        if ev["ph"] == "X":
+            tracks.setdefault((ev["pid"], ev["tid"]), []).append(
+                (ev["ts"], ev["ts"] + ev["dur"])
+            )
+    for intervals in tracks.values():
+        # equal starts: enclosing (longer) span first, like a call stack
+        intervals.sort(key=lambda iv: (iv[0], -iv[1]))
+        stack = []
+        for t0, t1 in intervals:
+            while stack and stack[-1] <= t0 + eps:
+                stack.pop()
+            if stack:
+                assert t1 <= stack[-1] + eps, "overlap without containment"
+            stack.append(t1)
+
+
+# ----------------------------------------------------------------------
+# validation catches malformed DAGs
+# ----------------------------------------------------------------------
+def test_validate_flags_unclosed_spans():
+    cluster, tracer, _ = traced_run()
+    tracer._open_span(0, "fetch", "synthetic")
+    errors = tracer.validate()
+    assert any("unclosed span" in e for e in errors)
+
+
+def test_validate_flags_capacity_overflow():
+    cluster = make_cluster(num_procs=4, ft=True, l_fraction=0.1)
+    tracer = SpanTracer(cluster, max_spans=10)
+    cluster.run(make_app("counter"))
+    assert tracer.dropped_spans > 0
+    assert any("capacity exceeded" in e for e in tracer.validate())
+
+
+def test_tracing_composes_with_flat_tracer_and_observer():
+    """All three observation layers ride the same probe chain."""
+    from repro.observe import ClusterObserver
+    from repro.sim.trace import Tracer
+
+    cluster = make_cluster(num_procs=4, ft=True, l_fraction=0.1)
+    flat = Tracer(cluster)
+    spans = SpanTracer(cluster)
+    obs = ClusterObserver(cluster, interval=1e-3)
+    cluster.run(make_app("counter"))
+    assert flat.counts().get("ckpt_write", 0) > 0
+    assert spans.spans_by_kind("ckpt_write")
+    assert obs.registry.samples_taken > 0
+    assert spans.validate() == []

@@ -57,3 +57,126 @@ def test_tracer_render_and_cap():
     text = tracer.render(limit=5)
     assert "more events" in text or "dropped" in text
     assert "p0" in text or "p1" in text
+
+
+def test_render_shows_placeholder_for_unset_step():
+    """Events emitted before the engine runs any event must not render
+    as the confusing ``#-1``."""
+    ev = TraceEvent(time=1e-3, pid=2, kind="lock", detail="x", step=-1)
+    assert "#-1" not in ev.render()
+    assert "#——" in ev.render()
+    # a real step still renders numerically
+    assert "#42" in TraceEvent(1e-3, 2, "lock", "x", step=42).render()
+
+
+def test_render_passthrough_filters():
+    cluster = make_cluster(num_procs=4, ft=True, l_fraction=0.1)
+    tracer = Tracer(cluster)
+    cluster.run(make_app("counter"))
+    # kind filter: only lock lines
+    text = tracer.render(limit=10**9, kind="lock")
+    assert text and all(" lock " in ln for ln in text.splitlines())
+    # pid filter: only p2 lines
+    text = tracer.render(limit=10**9, pid=2)
+    assert text and all(" p2 " in ln for ln in text.splitlines())
+    # time window: bounds are honored
+    times = [e.time for e in tracer.events]
+    lo, hi = times[len(times) // 4], times[3 * len(times) // 4]
+    window = [e for e in tracer.events if lo <= e.time <= hi]
+    text = tracer.render(limit=10**9, since=lo, until=hi)
+    assert len(text.splitlines()) == len(window)
+    # filters compose with the limit (truncation note reflects matches)
+    text = tracer.render(limit=1, kind="send")
+    n_sends = len(tracer.filter(kind="send"))
+    assert f"{n_sends - 1} more events" in text
+
+
+# ----------------------------------------------------------------------
+# span tracing across crash/recovery
+# ----------------------------------------------------------------------
+def _ft_runtime():
+    return make_cluster(num_procs=4, ft=True, l_fraction=0.1).run(
+        make_app("counter")
+    ).wall_time
+
+
+def test_spans_on_crashed_node_are_abandoned_not_leaked():
+    from repro.observe.tracing import SpanTracer
+
+    cluster = make_cluster(num_procs=4, ft=True, l_fraction=0.1)
+    tracer = SpanTracer(cluster)
+    cluster.schedule_crash(2, at_time=_ft_runtime() * 0.4)
+    result = cluster.run(make_app("counter"))
+    assert result.crashes == 1 and result.recoveries == 1
+    # nothing leaked open, and the victim's in-progress spans at the
+    # crash instant were closed as abandoned
+    assert tracer.validate() == []
+    assert not tracer.open_spans()
+    abandoned = tracer.abandoned_spans(pid=2)
+    assert abandoned
+    crash_t = tracer.crash_points[0][1]
+    assert all(s.t1 == crash_t for s in abandoned)
+    assert all(s.incarnation == 0 for s in abandoned)
+    # no other node lost spans
+    assert not tracer.abandoned_spans(pid=0)
+
+
+def test_recovery_incarnation_spans_get_fresh_ids():
+    from repro.observe.tracing import SpanTracer
+
+    cluster = make_cluster(num_procs=4, ft=True, l_fraction=0.1)
+    tracer = SpanTracer(cluster)
+    cluster.schedule_crash(2, at_time=_ft_runtime() * 0.4)
+    cluster.run(make_app("counter"))
+    gen0 = {s.sid for s in tracer.spans if s.pid == 2 and s.incarnation == 0}
+    gen1 = {s.sid for s in tracer.spans if s.pid == 2 and s.incarnation == 1}
+    assert gen0 and gen1
+    assert not gen0 & gen1
+    # the new incarnation opened a fresh app span and closed it cleanly
+    apps = [s for s in tracer.spans_by_kind("app", pid=2)]
+    assert [s.incarnation for s in apps] == [0, 1]
+    assert apps[0].status == "abandoned"
+    assert apps[1].status == "closed"
+    # the recovery phase itself is a span, annotated with its progress
+    recs = tracer.spans_by_kind("recovery", pid=2)
+    assert len(recs) == 1 and recs[0].status == "closed"
+    assert "begin incarnation=1" in recs[0].detail
+    # reconciliation holds against the final incarnation's TimeStats
+    from repro.observe.tracing import reconcile_with_time_stats
+
+    assert reconcile_with_time_stats(tracer) == []
+
+
+def test_span_dag_validates_after_mid_transfer_crash():
+    """Crash-sweep style: kill the victim in the middle of a checkpoint
+    disk write (found by step from a reference trace), where torn state
+    is most likely, and require a well-formed span DAG."""
+    from repro.observe.tracing import SpanTracer, compute_critical_path
+
+    # reference run: find a step inside a ckpt_write window on p1
+    ref_cluster = make_cluster(num_procs=4, ft=True, l_fraction=0.1)
+    ref = Tracer(ref_cluster, kinds={"ckpt_write"})
+    ref_cluster.run(make_app("counter"))
+    begins = [
+        e for e in ref.filter(kind="ckpt_write")
+        if e.pid == 1 and e.detail.startswith("begin")
+    ]
+    assert begins, "reference run must checkpoint on p1"
+    crash_step = begins[0].step + 1  # mid disk write
+
+    cluster = make_cluster(num_procs=4, ft=True, l_fraction=0.1)
+    tracer = SpanTracer(cluster)
+    cluster.schedule_crash_at_step(1, crash_step)
+    result = cluster.run(make_app("counter"))
+    assert result.crashes == 1 and result.recoveries == 1
+    assert tracer.validate() == []
+    # the torn ckpt_write span on the victim was abandoned mid-flight
+    torn = [
+        s for s in tracer.spans_by_kind("ckpt_write", pid=1)
+        if s.status == "abandoned"
+    ]
+    assert len(torn) == 1
+    # the critical path still covers the whole (longer) run
+    segments = compute_critical_path(tracer)
+    total = sum(s.duration for s in segments)
+    assert abs(total - result.wall_time) < 1e-6 * result.wall_time

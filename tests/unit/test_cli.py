@@ -44,6 +44,25 @@ def test_parser_rejects_unknown_app():
         build_parser().parse_args(["not-an-app"])
 
 
+def test_trace_help_is_derived_from_tracer_kinds():
+    """The --trace help text must list exactly Tracer.KINDS — it is
+    generated from it, so it can never omit kinds again (it used to
+    hand-maintain a stale list without ckpt_write/recovery)."""
+    from repro.sim.trace import Tracer
+
+    help_text = build_parser().format_help()
+    assert ",".join(sorted(Tracer.KINDS)) in help_text.replace("\n", "").replace(
+        " ", ""
+    )
+
+
+def test_trace_flag_rejects_unknown_kind(capsys):
+    assert main(["counter", "--ft", "--trace", "bogus"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown trace kinds: bogus" in err
+    assert "ckpt_write" in err  # the choices are listed from Tracer.KINDS
+
+
 def test_crashsweep_subcommand(tmp_path, capsys):
     out_path = tmp_path / "sweep.json"
     rc = main([
@@ -97,6 +116,57 @@ def test_observe_subcommand_no_ft(tmp_path, capsys):
     assert validate_report(report, require_ft=False) == []
     # base runs carry no FT series at all
     assert all(not r["metric"].startswith("ft.") for r in report["series"])
+
+
+def test_trace_subcommand(tmp_path, capsys):
+    out_path = tmp_path / "trace.json"
+    report_path = tmp_path / "critpath.txt"
+    rc = main([
+        "trace", "counter",
+        "--procs", "4", "--steps", "2",
+        "--out", str(out_path), "--report", str(report_path),
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "critical path:" in out
+    assert "per-cause totals" in out
+    assert f"trace written to {out_path}" in out
+
+    import json
+
+    trace = json.loads(out_path.read_text())
+    events = trace["traceEvents"]
+    assert events
+    assert any(ev["ph"] == "s" for ev in events)  # flow edges present
+    assert all(ev["args"]["status"] != "open"
+               for ev in events if ev["ph"] == "X")
+    assert report_path.read_text().startswith("critical path:")
+
+
+def test_trace_subcommand_with_crash(tmp_path, capsys):
+    out_path = tmp_path / "trace.json"
+    rc = main([
+        "trace", "counter",
+        "--procs", "4", "--crash", "2@0.5",
+        "--out", str(out_path),
+        "--report", str(tmp_path / "critpath.txt"),
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "1 crash(es), 1 recover(ies)" in out
+    assert "down (detection)" in out
+    assert "recovery" in out
+
+    import json
+
+    events = json.loads(out_path.read_text())["traceEvents"]
+    abandoned = [ev for ev in events
+                 if ev["ph"] == "X" and ev["args"]["status"] == "abandoned"]
+    assert abandoned and all(ev["pid"] == 2 for ev in abandoned)
+
+
+def test_trace_subcommand_crash_requires_ft(capsys):
+    assert main(["trace", "counter", "--no-ft", "--crash", "2@0.5"]) == 2
 
 
 def test_crashsweep_rejects_bad_class():
