@@ -10,6 +10,8 @@ Examples::
     python -m repro crashsweep counter --every 40 --classes lock,ckpt_write
     python -m repro observe counter --procs 4 --interval 1e-3
     python -m repro trace counter --procs 4 --crash 2@0.5
+    python -m repro monitor counter --procs 4 --crash 2@0.5
+    python -m repro monitor counter --seed-violation cgc   # must exit 1
 """
 
 from __future__ import annotations
@@ -460,6 +462,121 @@ def run_trace(argv: list) -> int:
     return 0
 
 
+def build_monitor_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="python -m repro monitor",
+        description="Run one fault-tolerant workload with the online "
+        "invariant monitor attached: the paper's trimming/garbage-"
+        "collection bounds, vector-clock monotonicity, per-channel FIFO "
+        "and the structural recoverability precondition are checked "
+        "continuously (DESIGN.md §9). Exits nonzero on any violation and "
+        "writes a post-mortem flight record (last-events ring + node "
+        "state snapshot) as JSON.",
+    )
+    p.add_argument("app", choices=[a for a in APPS if a not in ("tables", "bench")])
+    p.add_argument("--procs", type=int, default=4, help="cluster size (default 4)")
+    p.add_argument("--steps", type=int, default=None, help="application steps")
+    p.add_argument("--size", type=int, default=None, help="problem size")
+    p.add_argument("--l", type=float, default=0.1, help="OF policy L fraction")
+    p.add_argument(
+        "--crash",
+        metavar="PID@FRAC",
+        default=None,
+        help="fail-stop PID at FRAC of the failure-free runtime (e.g. 2@0.5)",
+    )
+    p.add_argument(
+        "--ring", type=int, default=256,
+        help="flight-recorder ring size in events (default 256)",
+    )
+    p.add_argument(
+        "--scan-every", type=int, default=1, metavar="N",
+        help="run the structural recoverability scan every Nth message "
+        "delivery (default 1 = every delivery)",
+    )
+    p.add_argument(
+        "--flight", default=None, metavar="PATH",
+        help="flight-record JSON path, written on violation "
+        "(default benchmarks/FLIGHT_<app>.json)",
+    )
+    p.add_argument(
+        "--seed-violation",
+        choices=["cgc", "llt", "vclock", "fifo", "recoverability"],
+        default=None,
+        help="deliberately sabotage the run so the named invariant class "
+        "is violated (self-test: the exit code must be nonzero)",
+    )
+    return p
+
+
+def run_monitor(argv: list) -> int:
+    from repro.observe import (
+        InvariantMonitor,
+        render_flight_record,
+        seed_violation,
+        write_flight_record,
+    )
+
+    args = build_monitor_parser().parse_args(argv)
+    # the monitored invariants are the FT layer's — plain mode has
+    # nothing to check, so ft is always on here
+    ns = argparse.Namespace(
+        procs=args.procs, ft=True, coordinated=False, wan=None, l=args.l
+    )
+
+    crash_spec = None
+    if args.crash:
+        pid_s, frac_s = args.crash.split("@")
+        golden = make_cluster(ns)
+        t_free = golden.run(make_app(args.app, args.steps, args.size)).wall_time
+        crash_spec = (int(pid_s), float(frac_s) * t_free)
+
+    cluster = make_cluster(ns)
+    monitor = InvariantMonitor(
+        cluster, ring_size=args.ring, scan_every=args.scan_every
+    )
+    if args.seed_violation:
+        # must come after the monitor attach: the fifo seed reorders
+        # outside the monitor's observation point
+        seed_violation(cluster, args.seed_violation)
+    if crash_spec:
+        cluster.schedule_crash(*crash_spec)
+
+    t0 = time.time()
+    result = None
+    run_error = None
+    try:
+        result = cluster.run(make_app(args.app, args.steps, args.size))
+    except Exception as exc:  # seeded sabotage can corrupt the run
+        if not monitor.violations:
+            raise
+        run_error = exc
+    host_s = time.time() - t0
+    monitor.finish()
+
+    print(f"app           {args.app} on {args.procs} simulated nodes "
+          f"({host_s:.1f}s host time)")
+    if result is not None:
+        print(f"virtual time  {result.wall_time * 1e3:10.3f} ms")
+        if result.crashes:
+            print(f"failures      {result.crashes} crash(es), "
+                  f"{result.recoveries} recover(ies)")
+    else:
+        print(f"run aborted   {type(run_error).__name__}: {run_error} "
+              "(after first violation; expected under seeded sabotage)")
+    print()
+    print(monitor.render_summary())
+
+    if not monitor.violations:
+        return 0
+    dump = monitor.violation_dump or monitor.flight_record("violations")
+    out = args.flight or f"benchmarks/FLIGHT_{args.app}.json"
+    write_flight_record(out, dump)
+    print()
+    print(render_flight_record(dump))
+    print(f"\nflight record written to {out}")
+    return 1
+
+
 def main(argv: Optional[list] = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
@@ -469,6 +586,8 @@ def main(argv: Optional[list] = None) -> int:
         return run_observe(argv[1:])
     if argv and argv[0] == "trace":
         return run_trace(argv[1:])
+    if argv and argv[0] == "monitor":
+        return run_monitor(argv[1:])
     args = build_parser().parse_args(argv)
 
     if args.app == "bench":

@@ -372,6 +372,13 @@ class FtManager(FtHooks):
         self.stats.wn_trimmed += out["wn"]
         if self.obs is not None:
             self.obs.on_llt(self.pid, out)
+        # fires synchronously at the end of the pass, so a probe consumer
+        # (the invariant monitor) reads the logs exactly as LLT left them
+        self._probe(
+            "llt",
+            f"diff_bytes={out['diff_bytes']} rel={out['rel']} "
+            f"acq={out['acq']} wn={out['wn']}",
+        )
         return out
 
     # ==================================================================
@@ -395,6 +402,11 @@ class FtManager(FtHooks):
             self.trim.learn_p0v(page, p0.version[self.pid])
         if self.obs is not None:
             self.obs.on_cgc(self.pid, freed)
+        # synchronous end-of-pass probe: Tmin and the retained copies are
+        # exactly the ones this pass computed when a consumer reads them
+        self._probe(
+            "cgc", f"freed={freed} window={self.ckpt_mgr.window_size}"
+        )
         return freed
 
     # ==================================================================

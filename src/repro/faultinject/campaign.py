@@ -16,6 +16,14 @@ A sweep is three phases:
    (recovery equivalence) or raise
    :class:`~repro.core.recovery.OverlappingFailureError` (explicit
    degradation, acceptable only for the ``recovery`` class).
+
+By default the online invariant monitor
+(:class:`~repro.observe.invariants.InvariantMonitor`) rides along on the
+reference and every injection run: it is read-only, so the step indices
+stay transferable, and it turns silently-wrong recoveries (trim bound
+overshoot, vector-clock regression, lost rel/acq mirror entries) into
+explicit ``failed`` points even when the oracle's end-state comparison
+would pass.
 """
 
 from __future__ import annotations
@@ -236,6 +244,8 @@ class CrashSweep:
         app_factory: Callable[[], Any],
         every: int = 25,
         classes: Tuple[str, ...] = CLASSES,
+        monitor: bool = True,
+        monitor_scan_every: int = 10,
     ) -> None:
         unknown = set(classes) - set(CLASSES)
         if unknown:
@@ -246,11 +256,23 @@ class CrashSweep:
         self.app_factory = app_factory
         self.every = every
         self.classes = tuple(c for c in CLASSES if c in classes)
+        #: attach the online invariant monitor to the reference run and
+        #: every injection run (read-only, so step indices stay valid);
+        #: a violation turns the point into ``failed``
+        self.monitor = monitor
+        self.monitor_scan_every = monitor_scan_every
         self.reference_snapshots: Dict[str, bytes] = {}
         self.reference_trace: List[Any] = []
         self.reference_steps = 0
         self.reference_wall_time = 0.0
         self.notes: List[str] = []
+
+    def _attach_monitor(self, cluster: Any):
+        if not self.monitor:
+            return None
+        from repro.observe import InvariantMonitor
+
+        return InvariantMonitor(cluster, scan_every=self.monitor_scan_every)
 
     # ------------------------------------------------------------------
     def run_reference(self) -> None:
@@ -258,7 +280,13 @@ class CrashSweep:
         if not cluster.ft_enabled:
             raise RuntimeError("crash sweep requires an FT-enabled cluster")
         tracer = Tracer(cluster, max_events=1_000_000)
+        monitor = self._attach_monitor(cluster)
         result = cluster.run(self.app_factory())
+        if monitor is not None and monitor.finish():
+            raise RuntimeError(
+                "invariant violation in the failure-free reference run: "
+                + "; ".join(v.render() for v in monitor.violations[:3])
+            )
         if tracer.dropped:
             raise RuntimeError(
                 f"reference trace overflowed ({tracer.dropped} dropped); "
@@ -381,6 +409,7 @@ class CrashSweep:
     # ------------------------------------------------------------------
     def run_point(self, point: CrashPoint) -> PointResult:
         cluster = self.cluster_factory()
+        monitor = self._attach_monitor(cluster)
         cluster.schedule_crash_at_step(point.victim, point.step)
         if point.base is not None:
             base_step, base_victim = point.base
@@ -389,6 +418,8 @@ class CrashSweep:
         try:
             result = cluster.run(self.app_factory())
         except OverlappingFailureError as exc:
+            # explicitly degraded: the cluster aborted mid-recovery, so
+            # the monitor's in-flight state is not a verdict — drop it
             return PointResult(
                 point,
                 "degraded",
@@ -397,12 +428,27 @@ class CrashSweep:
                 error=str(exc),
             )
         except Exception as exc:  # deadlock / protocol invariant / oracle
+            error = f"{type(exc).__name__}: {exc}"
+            if monitor is not None and monitor.violations:
+                error += (
+                    "; invariant violations: "
+                    + "; ".join(v.render() for v in monitor.violations[:3])
+                )
             return PointResult(
                 point,
                 "failed",
                 crashes=cluster.crashes,
                 recoveries=cluster.recoveries,
-                error=f"{type(exc).__name__}: {exc}",
+                error=error,
+            )
+        if monitor is not None and monitor.finish():
+            return PointResult(
+                point,
+                "failed",
+                crashes=result.crashes,
+                recoveries=result.recoveries,
+                error="invariant violations: "
+                + "; ".join(v.render() for v in monitor.violations[:3]),
             )
         try:
             check_oracle(cluster, self.reference_snapshots)

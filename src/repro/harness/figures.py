@@ -11,7 +11,7 @@ from repro.harness.experiment import (
     run_base,
     run_ft,
 )
-from repro.metrics.report import Table, ascii_series, format_pct
+from repro.render import Table, ascii_series, format_pct
 from repro.sim.node import TimeBucket
 
 __all__ = ["figure3", "figure3_table", "figure4", "figure4_render"]

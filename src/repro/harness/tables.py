@@ -20,7 +20,7 @@ from repro.harness.experiment import (
     run_base,
     run_ft,
 )
-from repro.metrics.report import Table, format_bytes, format_pct
+from repro.render import Table, format_bytes, format_pct
 
 __all__ = ["table1", "table2", "table3", "table4", "run_all_experiments"]
 

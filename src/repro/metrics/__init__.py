@@ -1,5 +1,5 @@
 """Measurement collection and report formatting for the experiments."""
 
-from repro.metrics.report import Table, ascii_series, format_bytes, format_pct
+from repro.render import Table, ascii_series, format_bytes, format_pct
 
 __all__ = ["Table", "ascii_series", "format_bytes", "format_pct"]

@@ -297,7 +297,7 @@ def _fmt_rate(v: float) -> str:
 
 
 def render_report(report: Dict[str, Any]) -> str:
-    from repro.metrics.report import Table
+    from repro.render import Table
 
     table = Table(
         f"repro bench — {report['suite']} suite "

@@ -1,125 +1,6 @@
-"""Plain-text tables and series plots for the benchmark harness.
+"""Compatibility re-export: the ASCII rendering helpers live in
+:mod:`repro.render` (one module, one test suite). Import from there."""
 
-The paper's tables are regenerated as ASCII tables; its figures as
-ASCII-rendered series (values are also returned structured so tests can
-assert on them).
-"""
-
-from __future__ import annotations
-
-from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from repro.render import Table, ascii_series, format_bytes, format_pct
 
 __all__ = ["Table", "ascii_series", "format_bytes", "format_pct"]
-
-
-def format_bytes(n: float) -> str:
-    """Human-readable byte counts (KB/MB with sensible precision).
-
-    Thresholds apply to the magnitude, so deltas (bytes trimmed,
-    regressions) format symmetrically: ``format_bytes(-5e6)`` is
-    ``"-5.00 MB"``, not a raw negative byte count.
-    """
-    sign = "-" if n < 0 else ""
-    a = abs(n)
-    if a >= 1e6:
-        return f"{sign}{a / 1e6:.2f} MB"
-    if a >= 1e3:
-        return f"{sign}{a / 1e3:.1f} KB"
-    return f"{sign}{int(a)} B"
-
-
-def format_pct(x: float) -> str:
-    """Percentage with magnitude-based precision (sign preserved)."""
-    a = abs(x)
-    if a >= 10:
-        return f"{x:.0f} %"
-    if a >= 1:
-        return f"{x:.1f} %"
-    return f"{x:.2f} %"
-
-
-@dataclass
-class Table:
-    """A titled table with typed rows."""
-
-    title: str
-    columns: List[str]
-    rows: List[List[Any]] = field(default_factory=list)
-    note: str = ""
-
-    def add(self, *values: Any) -> None:
-        if len(values) != len(self.columns):
-            raise ValueError(
-                f"row has {len(values)} cells, table has {len(self.columns)} columns"
-            )
-        self.rows.append(list(values))
-
-    def cell(self, row: int, column: str) -> Any:
-        return self.rows[row][self.columns.index(column)]
-
-    def column(self, name: str) -> List[Any]:
-        i = self.columns.index(name)
-        return [r[i] for r in self.rows]
-
-    def render(self) -> str:
-        cells = [[str(c) for c in row] for row in self.rows]
-        widths = [
-            max(len(self.columns[i]), *(len(r[i]) for r in cells))
-            if cells
-            else len(self.columns[i])
-            for i in range(len(self.columns))
-        ]
-        sep = "-+-".join("-" * w for w in widths)
-        header = " | ".join(c.ljust(w) for c, w in zip(self.columns, widths))
-        lines = [self.title, "=" * len(self.title), header, sep]
-        for row in cells:
-            lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
-        if self.note:
-            lines.append(f"\n{self.note}")
-        return "\n".join(lines)
-
-    def __str__(self) -> str:  # pragma: no cover - convenience
-        return self.render()
-
-
-def ascii_series(
-    title: str,
-    series: Dict[str, Sequence[Tuple[float, float]]],
-    width: int = 60,
-    height: int = 12,
-    xlabel: str = "",
-    ylabel: str = "",
-) -> str:
-    """Render (x, y) series as a crude ASCII scatter/line chart."""
-    pts = [(x, y) for s in series.values() for x, y in s]
-    if not pts:
-        return f"{title}\n(no data)"
-    xs, ys = zip(*pts)
-    x0, x1 = min(xs), max(xs)
-    y0, y1 = min(ys), max(ys)
-    xr = x1 - x0
-    yr = y1 - y0
-    grid = [[" "] * width for _ in range(height)]
-    marks = "ox+*#@"
-    legend = []
-    # degenerate ranges (flat series, single points) center their marks
-    # instead of collapsing onto a border row/column
-    mid_row = height // 2
-    mid_col = width // 2
-    for k, (name, s) in enumerate(series.items()):
-        m = marks[k % len(marks)]
-        legend.append(f"{m} = {name}")
-        for x, y in s:
-            col = int((x - x0) / xr * (width - 1)) if xr else mid_col
-            row = (
-                height - 1 - int((y - y0) / yr * (height - 1)) if yr else mid_row
-            )
-            grid[row][col] = m
-    lines = [title, "=" * len(title)]
-    lines.append(f"y: {y1:.3g} (top) .. {y0:.3g} (bottom) {ylabel}")
-    lines.extend("|" + "".join(r) for r in grid)
-    lines.append("+" + "-" * width)
-    lines.append(f"x: {x0:.3g} .. {x1:.3g} {xlabel}")
-    lines.append("   ".join(legend))
-    return "\n".join(lines)

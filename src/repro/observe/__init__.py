@@ -12,6 +12,16 @@ See DESIGN.md §7. Typical use::
     write_jsonl("run.jsonl", report)
 """
 
+from repro.observe.invariants import (
+    INVARIANTS,
+    FlightRecorder,
+    InvariantMonitor,
+    Violation,
+    render_flight_record,
+    seed_violation,
+    validate_flight_record,
+    write_flight_record,
+)
 from repro.observe.observer import ClusterObserver, NodeProbe
 from repro.observe.registry import (
     CLUSTER_NODE,
@@ -48,13 +58,17 @@ __all__ = [
     "ClusterObserver",
     "Counter",
     "CritSegment",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
+    "INVARIANTS",
+    "InvariantMonitor",
     "KEY_SERIES",
     "MetricsRegistry",
     "NodeProbe",
     "Span",
     "SpanTracer",
+    "Violation",
     "build_report",
     "compute_critical_path",
     "load_jsonl",
@@ -62,9 +76,13 @@ __all__ = [
     "per_cause_totals",
     "reconcile_with_time_stats",
     "render_critpath_report",
+    "render_flight_record",
     "render_report",
+    "seed_violation",
     "to_chrome_trace",
+    "validate_flight_record",
     "validate_report",
     "worst_lock_chains",
+    "write_flight_record",
     "write_jsonl",
 ]

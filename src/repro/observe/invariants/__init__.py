@@ -1,0 +1,27 @@
+"""Online invariant monitoring: paper-bound runtime assertions plus a
+bounded crash flight recorder (see ``monitor.py`` for the catalog)."""
+
+from repro.observe.invariants.monitor import (
+    INVARIANTS,
+    InvariantMonitor,
+    Violation,
+)
+from repro.observe.invariants.recorder import (
+    FlightRecorder,
+    render_flight_record,
+    validate_flight_record,
+    write_flight_record,
+)
+from repro.observe.invariants.seeding import SEEDS, seed_violation
+
+__all__ = [
+    "INVARIANTS",
+    "InvariantMonitor",
+    "Violation",
+    "FlightRecorder",
+    "render_flight_record",
+    "validate_flight_record",
+    "write_flight_record",
+    "SEEDS",
+    "seed_violation",
+]

@@ -1,0 +1,716 @@
+"""Online invariant monitor: the paper's theorems as runtime assertions.
+
+An :class:`InvariantMonitor` attaches to a
+:class:`~repro.cluster.DsmCluster` *before* ``run`` and continuously
+checks five invariant classes derived from the paper (Sultan et al.,
+SC 2000); see DESIGN.md §9 for the catalog mapping each check to its
+theorem/section. Like the observer and the span tracer it is strictly
+read-only: it wraps the network send/deliver entry points, chains onto
+the cluster probe hook and installs the engine's event tap, but performs
+no scheduling, no sends and no state mutation — a monitored run is
+bit-identical to an unmonitored one (golden-determinism test).
+
+The five invariant classes:
+
+``cgc``
+    Rule 3.1 discipline. Immediately after every CGC pass on node *i*, at
+    most one retained copy per page has ``version <= Tmin`` (the older
+    ones are garbage the pass must have dropped); the newest retained
+    copy belongs to the latest committed checkpoint (never collected);
+    and the retained window is monotone — the per-page oldest-retained
+    seqno never decreases across trims. (The paper's "at most two
+    checkpoints" claim is knowledge-relative — see DESIGN.md §9 for why
+    the literal count can legitimately exceed 2 under stale ``T̂ckp``.)
+
+``llt``
+    Rules 1/2/3.2 exactness at every LLT pass: no retained log entry sits
+    at or below its derived trim bound (so log size never exceeds the
+    trim frontier, and entries below the globally stable frontier are
+    trimmed as soon as the bounds converge to it); the incremental
+    byte counters agree with the entries; and the trimming *knowledge*
+    never runs ahead of reality (``T̂ckp_j <=`` j's actual latest
+    checkpoint stamp, learned ``p0.v`` ≤ the home's actual maximal
+    starting copy) — stale bounds trim less, bounds ahead of reality
+    would trim entries recovery still needs.
+
+``vclock``
+    Per-node vector-time monotonicity at every observable point (the
+    baseline resets on a fail-stop: replay legitimately rewinds), and
+    happened-before consistency of every vector-clock stamp on every
+    sent and delivered message: no stamp component may exceed the
+    highest value its owner has ever been observed to reach.
+
+``fifo``
+    Per-channel FIFO: deliveries on each (src, dst) channel occur in
+    exactly the order of the sends (payload identity, tracked through
+    crashes — the network outlives process incarnations).
+
+``recoverability``
+    Structural recovery precondition, from metadata (not by replay):
+    every page's retained-copy sequence is well formed and non-empty
+    with a starting copy usable by every live peer (``p0.version <=``
+    the peer's vector time — Rule 3's guarantee); the restart checkpoint
+    is a committed stable-storage key and no torn keys exist outside a
+    checkpoint write window; and the rel/acq log replication of §4.2.1
+    holds pairwise — every acquire a live node logged is present in its
+    grantor's rel_log, so a crash of either side can be replayed from
+    the surviving copy.
+
+On the first violation — and on every crash — the attached
+:class:`~repro.observe.invariants.recorder.FlightRecorder` state is
+snapshotted into a post-mortem flight record (JSON + ASCII, see
+``recorder.py``).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+from repro.dsm.vclock import VClock
+from repro.observe.invariants.recorder import FlightRecorder
+
+__all__ = ["INVARIANTS", "Violation", "InvariantMonitor"]
+
+#: the five checked invariant classes
+INVARIANTS = ("cgc", "llt", "vclock", "fifo", "recoverability")
+
+#: message attributes carrying vector-clock stamps (happened-before check)
+_STAMP_ATTRS = ("vt", "acq_vt", "rel_vt", "diff_vt", "global_vt")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One detected invariant violation."""
+
+    invariant: str  # one of INVARIANTS
+    pid: int
+    time: float
+    step: int
+    detail: str
+
+    def render(self) -> str:
+        return (
+            f"{self.time * 1e3:10.4f} ms #{self.step:<7d} "
+            f"[{self.invariant}] p{self.pid}: {self.detail}"
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "invariant": self.invariant,
+            "pid": self.pid,
+            "time": self.time,
+            "step": self.step,
+            "detail": self.detail,
+        }
+
+
+class InvariantMonitor:
+    """Continuously checks the paper-bound invariants of one cluster.
+
+    ``scan_every`` throttles the structural recoverability scan (the one
+    check that walks every host's checkpoint store) to every Nth message
+    delivery; probe-triggered scans (checkpoint commits, recoveries) and
+    the final :meth:`finish` scan always run. Violations are collected,
+    deduplicated on (invariant, pid, detail) and capped; the first one
+    snapshots a flight record (:attr:`violation_dump`), as does every
+    crash (:attr:`crash_dumps`, last four kept).
+    """
+
+    def __init__(
+        self,
+        cluster: Any,
+        ring_size: int = 256,
+        scan_every: int = 1,
+        max_violations: int = 64,
+    ) -> None:
+        if scan_every < 1:
+            raise ValueError("scan_every must be >= 1")
+        self.cluster = cluster
+        self.scan_every = scan_every
+        self.max_violations = max_violations
+        self.recorder = FlightRecorder(ring_size)
+        self.violations: List[Violation] = []
+        self.dropped_violations = 0
+        self.checks: Dict[str, int] = {k: 0 for k in INVARIANTS}
+        self.violation_dump: Optional[Dict[str, Any]] = None
+        self.crash_dumps: List[Dict[str, Any]] = []
+        n = cluster.config.num_procs
+        #: per-channel queue of sent-but-undelivered payload identities
+        self._chan: Dict[Tuple[int, int], deque] = {}
+        #: highest own vt component ever observed per process; never
+        #: reset (a replay cannot legitimately overtake the pre-crash
+        #: observation before re-executing the same intervals)
+        self._hwm: List[int] = [0] * n
+        #: last observed vt per process (monotonicity baseline; reset to
+        #: None on fail-stop — replay rewinds legitimately)
+        self._last_vt: List[Optional[VClock]] = [None] * n
+        #: per-(pid, page) oldest retained checkpoint seqno (CGC
+        #: monotonicity floor)
+        self._ckpt_floor: Dict[Tuple[int, Any], int] = {}
+        #: pids currently inside a ckpt_write begin/end window (torn
+        #: stable-store keys are legal only there or while down)
+        self._ckpt_writing: Set[int] = set()
+        self._seen: Set[Tuple[str, int, str]] = set()
+        self._deliveries = 0
+        #: page -> home pid, built lazily (regions exist only after setup)
+        self._homes: Optional[Dict[Any, int]] = None
+        self._install()
+
+    # ==================================================================
+    # attachment (read-only wrapping, tracer-style chaining)
+    # ==================================================================
+    def _install(self) -> None:
+        cluster = self.cluster
+        net = cluster.network
+        mon = self
+
+        orig_send = net.send
+
+        def send(src: int, dst: int, payload: Any, size: int,
+                 category: str, ft_bytes: int = 0) -> None:
+            mon._on_send(src, dst, payload)
+            orig_send(src, dst, payload, size, category, ft_bytes)
+
+        net.send = send
+
+        orig_deliver = net._deliver
+
+        def deliver(src: int, dst: int, payload: Any, epoch: int,
+                    size: int = 0) -> None:
+            mon._on_deliver(src, dst, payload)
+            orig_deliver(src, dst, payload, epoch, size)
+
+        net._deliver = deliver
+
+        orig_probe = cluster.probe
+
+        def probe(pid: int, kind: str, detail: str) -> None:
+            mon._on_probe(pid, kind, detail)
+            if orig_probe is not None:
+                orig_probe(pid, kind, detail)
+
+        cluster.probe = probe
+
+        cluster.engine.event_tap = self.recorder.on_engine_event
+
+    # ==================================================================
+    # event handlers
+    # ==================================================================
+    def _on_send(self, src: int, dst: int, payload: Any) -> None:
+        self._chan.setdefault((src, dst), deque()).append(payload)
+        self._refresh_vclocks()
+        self._check_stamps(src, payload)
+        eng = self.cluster.engine
+        self.recorder.on_message("send", eng.now, eng.steps, src, dst, payload)
+
+    def _on_deliver(self, src: int, dst: int, payload: Any) -> None:
+        q = self._chan.get((src, dst))
+        if not q:
+            self._violate(
+                "fifo", dst,
+                f"delivery of {type(payload).__name__} from p{src} that "
+                "was never sent on this channel",
+            )
+        elif q[0] is payload:
+            q.popleft()
+        else:
+            self._violate(
+                "fifo", dst,
+                f"channel p{src}->p{dst} reordered: "
+                f"{type(payload).__name__} delivered ahead of "
+                f"{len(q)} earlier unsent-or-undelivered message(s)",
+            )
+            try:  # resync so one reorder doesn't cascade
+                q.remove(payload)
+            except ValueError:
+                pass
+        self.checks["fifo"] += 1
+        self._refresh_vclocks()
+        self._check_stamps(src, payload)
+        self._deliveries += 1
+        if self._deliveries % self.scan_every == 0:
+            self._scan_structural()
+        eng = self.cluster.engine
+        self.recorder.on_message(
+            "deliver", eng.now, eng.steps, src, dst, payload
+        )
+
+    def _on_probe(self, pid: int, kind: str, detail: str) -> None:
+        eng = self.cluster.engine
+        self.recorder.on_probe(eng.now, eng.steps, pid, kind, detail)
+        if kind == "llt":
+            self._check_llt(pid)
+        elif kind == "cgc":
+            self._check_cgc(pid)
+        elif kind == "ckpt_write":
+            if detail.startswith("begin"):
+                self._ckpt_writing.add(pid)
+            else:
+                # the commit marker lands later in this same engine
+                # event (probe fires before commit_staged), so do NOT
+                # scan here — the next delivery-driven scan runs after
+                # the commit and must find no torn keys
+                self._ckpt_writing.discard(pid)
+        elif kind == "failure":
+            # emitted before the kill: snapshot the victim's last state
+            self._ckpt_writing.discard(pid)
+            self._last_vt[pid] = None
+            self.crash_dumps.append(
+                self.flight_record(f"crash of p{pid} (fail-stop)")
+            )
+            del self.crash_dumps[:-4]
+        elif kind == "recovery" and detail == "live":
+            self._last_vt[pid] = None
+            self._scan_structural()
+
+    # ==================================================================
+    # violation bookkeeping
+    # ==================================================================
+    def _violate(self, invariant: str, pid: int, detail: str) -> None:
+        key = (invariant, pid, detail)
+        if key in self._seen:
+            return
+        self._seen.add(key)
+        if len(self.violations) >= self.max_violations:
+            self.dropped_violations += 1
+            return
+        eng = self.cluster.engine
+        v = Violation(invariant, pid, eng.now, eng.steps, detail)
+        self.violations.append(v)
+        if self.violation_dump is None:
+            self.violation_dump = self.flight_record(
+                f"invariant violation: [{invariant}] p{pid}: {detail}"
+            )
+
+    # ==================================================================
+    # invariant 3 — vector clocks
+    # ==================================================================
+    def _refresh_vclocks(self) -> None:
+        hwm = self._hwm
+        last = self._last_vt
+        for host in self.cluster.hosts:
+            proto = host.proto
+            if proto is None:
+                continue
+            vt = proto.vt
+            pid = host.pid
+            own = vt.v[pid]
+            if own > hwm[pid]:
+                hwm[pid] = own
+            prev = last[pid]
+            if prev is not None and prev is not vt and not prev.leq(vt):
+                self._violate(
+                    "vclock", pid,
+                    f"vector time regressed: {tuple(prev)} -> {tuple(vt)}",
+                )
+            last[pid] = vt
+        self.checks["vclock"] += 1
+
+    def _check_stamps(self, origin: int, msg: Any) -> None:
+        for attr in _STAMP_ATTRS:
+            t = getattr(msg, attr, None)
+            if type(t) is VClock:
+                self._check_stamp(origin, type(msg).__name__, attr, t)
+        notices = getattr(msg, "notices", None)
+        if notices:
+            for wn in notices:
+                t = getattr(wn, "vt", None)
+                if type(t) is VClock:
+                    self._check_stamp(origin, "WriteNotice", "vt", t)
+        pb = getattr(msg, "piggyback", None)
+        if pb is not None:
+            for _proc, tckp, _bar in pb.tckps:
+                self._check_stamp(origin, "Piggyback", "tckp", tckp)
+
+    def _check_stamp(self, origin: int, mname: str, attr: str,
+                     t: VClock) -> None:
+        hwm = self._hwm
+        for j, c in enumerate(t.v):
+            if c > hwm[j]:
+                self._violate(
+                    "vclock", origin,
+                    f"{mname}.{attr} stamps component {j} at {c}, beyond "
+                    f"p{j}'s highest observed vector time {hwm[j]} "
+                    "(happened-before violated: the stamp names an "
+                    "interval its owner never started)",
+                )
+                return
+
+    # ==================================================================
+    # invariant 1 — CGC (Rule 3.1), checked at every "cgc" probe
+    # ==================================================================
+    def _check_cgc(self, pid: int) -> None:
+        host = self.cluster.hosts[pid]
+        ft, mgr = host.ft, host.ckpt_mgr
+        if ft is None or mgr is None:
+            return
+        tmin = ft.trim.tmin()
+        latest = mgr.latest
+        for page, copies in mgr.page_copies.items():
+            # versions are non-decreasing, so copies <= Tmin form a
+            # prefix; after a correct pass only its last element remains
+            n_le = sum(1 for c in copies if c.version.leq(tmin))
+            if n_le > 1:
+                self._violate(
+                    "cgc", pid,
+                    f"page {tuple(page)}: {n_le} retained copies <= Tmin "
+                    f"{tuple(tmin)} after CGC — only the maximal starting "
+                    "copy may remain at or below Tmin (Rule 3.1)",
+                )
+            if latest is not None and copies and (
+                copies[-1].ckpt_seqno != latest.seqno
+            ):
+                self._violate(
+                    "cgc", pid,
+                    f"page {tuple(page)}: newest retained copy is from "
+                    f"checkpoint {copies[-1].ckpt_seqno} but the latest "
+                    f"committed checkpoint is {latest.seqno} — the "
+                    "restart checkpoint's copies must never be collected",
+                )
+            key = (pid, page)
+            floor = copies[0].ckpt_seqno if copies else -1
+            prev = self._ckpt_floor.get(key, -1)
+            if floor < prev:
+                self._violate(
+                    "cgc", pid,
+                    f"page {tuple(page)}: oldest retained checkpoint "
+                    f"regressed from {prev} to {floor} — the retained "
+                    "window must evolve only by prefix-drop or append",
+                )
+            if floor > prev:
+                self._ckpt_floor[key] = floor
+        self.checks["cgc"] += 1
+
+    # ==================================================================
+    # invariant 2 — LLT (Rules 1/2/3.2), checked at every "llt" probe
+    # ==================================================================
+    def _check_llt(self, pid: int) -> None:
+        host = self.cluster.hosts[pid]
+        ft = host.ft
+        if ft is None:
+            return
+        trim, logs = ft.trim, ft.logs
+        # Rule 3.2 exactness: no retained diff entry at/below the bound
+        for page, entries in logs.diff.per_page.items():
+            bound = trim.diff_bound(page)
+            if bound and any(e.t[pid] <= bound for e in entries):
+                self._violate(
+                    "llt", pid,
+                    f"diff log for page {tuple(page)} retains entries with "
+                    f"T[{pid}] <= p0.v bound {bound} after LLT (Rule 3.2 "
+                    "trim missed — log exceeds its trim frontier)",
+                )
+        # counter/entry agreement (the "log size" the bound governs)
+        actual = sum(
+            e.size_bytes for es in logs.diff.per_page.values() for e in es
+        )
+        if actual != logs.diff.volatile_bytes:
+            self._violate(
+                "llt", pid,
+                f"diff-log byte accounting drifted: counter reports "
+                f"{logs.diff.volatile_bytes}, entries sum to {actual}",
+            )
+        # Rule 2: rel entries per acquirer, acq entries vs own cut
+        for j in range(ft.n):
+            if j == pid:
+                continue
+            bound = trim.rel_bound(j)
+            if bound and any(
+                e.acq_t[j] <= bound for e in logs.rel.entries[j]
+            ):
+                self._violate(
+                    "llt", pid,
+                    f"rel_log[{j}] retains entries with acq_t[{j}] <= "
+                    f"T̂ckp_{j}[{j}]={bound} after LLT (Rule 2 trim missed)",
+                )
+        own_bound = trim.acq_bound()
+        if own_bound and any(
+            e.acq_t[pid] <= own_bound
+            for es in logs.acq.entries for e in es
+        ):
+            self._violate(
+                "llt", pid,
+                f"acq_log retains entries with acq_t[{pid}] <= own "
+                f"Tckp[{pid}]={own_bound} after LLT (Rule 2 trim missed)",
+            )
+        # barrier-log analogue
+        bar_from = trim.bar_keep_from()
+        if bar_from and any(b.episode < bar_from for b in logs.bar):
+            self._violate(
+                "llt", pid,
+                f"barrier log retains episodes below {bar_from} after LLT",
+            )
+        # Rule 1: own write notices
+        wn_from = trim.wn_keep_from()
+        proto = host.proto
+        if proto is not None and wn_from > 1:
+            stale = [
+                wn for wn in proto.notices.own_after(pid, 0)
+                if wn.interval < wn_from
+            ]
+            if stale:
+                self._violate(
+                    "llt", pid,
+                    f"{len(stale)} own write notices from intervals below "
+                    f"{wn_from} retained after LLT (Rule 1 trim missed)",
+                )
+        # frontier validity: trimming knowledge must lag reality — a
+        # frontier ahead of reality would have trimmed entries that
+        # recovery still needs
+        hosts = self.cluster.hosts
+        for j in range(ft.n):
+            if j == pid:
+                continue
+            peer_mgr = hosts[j].ckpt_mgr
+            if peer_mgr is None:
+                continue
+            known = trim.tckp[j]
+            if peer_mgr.latest is None:
+                if any(known.v):
+                    self._violate(
+                        "llt", pid,
+                        f"knows checkpoint stamp {tuple(known)} for p{j}, "
+                        "which has never committed a checkpoint",
+                    )
+            elif not known.leq(peer_mgr.latest.tckp):
+                self._violate(
+                    "llt", pid,
+                    f"T̂ckp_{j} knowledge {tuple(known)} exceeds p{j}'s "
+                    f"actual latest checkpoint "
+                    f"{tuple(peer_mgr.latest.tckp)} — trim frontier ran "
+                    "ahead of reality",
+                )
+        for page, v in trim.p0v.items():
+            home_mgr = hosts[self._home_of(page)].ckpt_mgr
+            if home_mgr is None:
+                continue
+            copies = home_mgr.page_copies.get(page)
+            if copies and v > copies[0].version[pid]:
+                self._violate(
+                    "llt", pid,
+                    f"learned p0.v[{pid}]={v} for page {tuple(page)} "
+                    f"exceeds the home's actual maximal-starting-copy "
+                    f"component {copies[0].version[pid]}",
+                )
+        self.checks["llt"] += 1
+
+    def _home_of(self, page: Any) -> int:
+        if self._homes is None:
+            self._homes = {
+                p: self.cluster.regions.home_of(p)
+                for p in self.cluster.regions.all_page_ids()
+            }
+        return self._homes[page]
+
+    def _pages_homed_at(self, pid: int) -> List[Any]:
+        if self._homes is None:  # build the map lazily
+            self._homes = {
+                p: self.cluster.regions.home_of(p)
+                for p in self.cluster.regions.all_page_ids()
+            }
+        return [p for p, h in self._homes.items() if h == pid]
+
+    # ==================================================================
+    # invariant 5 — structural recoverability
+    # ==================================================================
+    def _scan_structural(self) -> None:
+        hosts = self.cluster.hosts
+        for host in hosts:
+            mgr = host.ckpt_mgr
+            if mgr is None:
+                continue
+            pid = host.pid
+            # iterate the pages that MUST have a copy sequence here (the
+            # ones homed at this node) rather than page_copies' own keys,
+            # so a vanished page is a violation, not a silent skip
+            for page in self._pages_homed_at(pid):
+                copies = mgr.page_copies.get(page)
+                if not copies:
+                    self._violate(
+                        "recoverability", pid,
+                        f"page {tuple(page)} has no retained checkpoint "
+                        "copies — no recovery could obtain a starting copy",
+                    )
+                    continue
+                for a, b in zip(copies, copies[1:]):
+                    if not (a.version.leq(b.version)
+                            and a.ckpt_seqno < b.ckpt_seqno):
+                        self._violate(
+                            "recoverability", pid,
+                            f"page {tuple(page)} retained-copy sequence "
+                            f"is not monotone at checkpoints "
+                            f"{a.ckpt_seqno}/{b.ckpt_seqno}",
+                        )
+                        break
+                # Rule 3 precondition: every live peer's replay ceiling
+                # (its current vt) dominates the oldest retained copy, so
+                # a usable starting copy exists for any single failure
+                p0 = copies[0]
+                for peer in hosts:
+                    if (peer.pid == pid or not peer.live
+                            or peer.recovering or peer.proto is None):
+                        continue
+                    if not p0.version.leq(peer.proto.vt):
+                        self._violate(
+                            "recoverability", pid,
+                            f"oldest retained copy of page {tuple(page)} "
+                            f"(version {tuple(p0.version)}) is not <= "
+                            f"p{peer.pid}'s vector time "
+                            f"{tuple(peer.proto.vt)} — a crash of "
+                            f"p{peer.pid} would find no usable starting "
+                            "copy (Rule 3 precondition)",
+                        )
+            if mgr.latest is not None:
+                key = ("ckpt", mgr.latest.seqno)
+                if key not in mgr.store or mgr.store.is_pending(key):
+                    self._violate(
+                        "recoverability", pid,
+                        f"restart checkpoint {mgr.latest.seqno} is not a "
+                        "committed stable-storage key",
+                    )
+            if (host.live and not host.recovering
+                    and pid not in self._ckpt_writing):
+                torn = mgr.store.pending_keys()
+                if torn:
+                    self._violate(
+                        "recoverability", pid,
+                        f"stable store holds torn keys {torn} outside any "
+                        "checkpoint write window",
+                    )
+        # §4.2.1 replication: every acquire a live node logged must be
+        # present in its (live) grantor's rel_log — a lost entry means a
+        # replay of our acquires would lose a grant. Caveats that bound
+        # what is checkable from metadata alone:
+        #
+        # * entries at or below our own checkpoint cut are dead (a
+        #   restart replays nothing before the cut) and may linger in
+        #   our acq_log until our next LLT pass — skipped;
+        # * the two sides do not log identical vts: the grantor logs a
+        #   *predicted* acquirer vt (from the request), the acquirer its
+        #   *actual* post-acquire vt, and the two diverge when the
+        #   acquirer's vt advances between request and grant (e.g.
+        #   across a recovery's forced checkpoint; see DESIGN.md §9).
+        #   Entries are therefore matched by grant identity — lock id
+        #   plus the *grantor's own* vt component, which both sides
+        #   compute identically — and a missing match is flagged only
+        #   when the grantor retains an *older* grant for us: correct
+        #   trimming is a prefix drop in grant order, so old-retained +
+        #   new-missing is a definite loss, while all-later/empty may
+        #   just be the grantor's earlier (predicted-vt) trim.
+        for host in hosts:
+            ft = host.ft
+            if ft is None or not host.live or host.recovering:
+                continue
+            i = host.pid
+            mgr = host.ckpt_mgr
+            own_cut = (
+                mgr.latest.tckp[i]
+                if mgr is not None and mgr.latest is not None else 0
+            )
+            for g in range(ft.n):
+                if g == i:
+                    continue
+                peer = hosts[g]
+                if (peer.ft is None or not peer.live or peer.recovering):
+                    continue
+                mine = ft.logs.acq.entries[g]
+                if not mine:
+                    continue
+                rel = peer.ft.logs.rel.entries[i]
+                theirs = {(e.lock_id, e.acq_t[g]) for e in rel}
+                oldest_rel = min((e.acq_t[g] for e in rel), default=None)
+                for e in mine:
+                    if e.acq_t[i] <= own_cut:
+                        continue  # dead: below our own restart cut
+                    if (e.lock_id, e.acq_t[g]) in theirs:
+                        continue
+                    if oldest_rel is not None and oldest_rel < e.acq_t[g]:
+                        self._violate(
+                            "recoverability", i,
+                            f"acq_log entry (lock {e.lock_id}, acq_t "
+                            f"{tuple(e.acq_t)}) granted by p{g} is missing "
+                            f"from p{g}'s rel_log[{i}], which still holds "
+                            f"an older grant — the §4.2.1 replicated pair "
+                            "lost an entry",
+                        )
+                        break
+        self.checks["recoverability"] += 1
+
+    # ==================================================================
+    # lifecycle / reporting
+    # ==================================================================
+    def finish(self) -> List[Violation]:
+        """Final full check after the run; returns all violations."""
+        self._refresh_vclocks()
+        self._scan_structural()
+        return self.violations
+
+    def flight_record(self, reason: str) -> Dict[str, Any]:
+        """Assemble a post-mortem flight record at the current instant."""
+        eng = self.cluster.engine
+        traffic = self.cluster.network.traffic
+        return {
+            "reason": reason,
+            "time": eng.now,
+            "step": eng.steps,
+            "violations": [v.to_dict() for v in self.violations],
+            "dropped_violations": self.dropped_violations,
+            "checks": dict(self.checks),
+            "nodes": [self._node_snapshot(h) for h in self.cluster.hosts],
+            "cluster": {
+                "crashes": self.cluster.crashes,
+                "recoveries": self.cluster.recoveries,
+                "traffic_bytes": traffic.total_bytes,
+                "traffic_msgs": traffic.total_msgs,
+                "inflight_msgs": self.cluster.network.inflight_msgs,
+            },
+            "events": self.recorder.dump(),
+            "events_recorded": self.recorder.recorded,
+        }
+
+    @staticmethod
+    def _node_snapshot(host: Any) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "pid": host.pid,
+            "live": host.live,
+            "recovering": host.recovering,
+            "finished": host.finished,
+            "crashes": host.crashed_count,
+            "recoveries": host.recovered_count,
+            "queued": len(host.queued),
+            "vt": None,
+        }
+        if host.proto is not None:
+            out["vt"] = list(host.proto.vt)
+        mgr = host.ckpt_mgr
+        if mgr is not None:
+            out["retained_seqnos"] = mgr.retained_seqnos
+            out["window_size"] = mgr.window_size
+            out["latest_ckpt"] = (
+                mgr.latest.seqno if mgr.latest is not None else None
+            )
+        ft = host.ft
+        if ft is not None:
+            out["log_volatile_bytes"] = ft.logs.diff.volatile_bytes
+            out["log_saved_bytes"] = ft.logs.diff.saved_bytes
+            out["rel_entries"] = ft.logs.rel.count()
+            out["acq_entries"] = ft.logs.acq.count()
+            out["checkpoints_taken"] = ft.stats.checkpoints_taken
+        return out
+
+    def render_summary(self) -> str:
+        """One-screen check/violation summary for the CLI."""
+        lines = [f"{'invariant':<14} {'checks':>8}   {'violations':>10}"]
+        for k in INVARIANTS:
+            n = sum(1 for v in self.violations if v.invariant == k)
+            lines.append(f"{k:<14} {self.checks[k]:>8}   {n:>10}")
+        total = len(self.violations)
+        verdict = "ALL INVARIANTS HELD" if not total else (
+            f"{total} VIOLATION(S)"
+            + (f" (+{self.dropped_violations} dropped)"
+               if self.dropped_violations else "")
+        )
+        lines.append(f"{'total':<14} {sum(self.checks.values()):>8}   {verdict}")
+        return "\n".join(lines)

@@ -1,0 +1,215 @@
+"""Bounded crash flight recorder: the last N engine events, probe
+firings and message send/deliver records, dumpable as a post-mortem.
+
+The recorder is a fixed-size ring (``collections.deque`` with
+``maxlen``), so it is O(1) per event and safe to leave attached for a
+whole campaign. Records are raw tuples while the run is live; they are
+normalized to JSON-friendly dicts only when a dump is requested (on an
+invariant violation or a crash), which keeps the hot path to one deque
+append. Engine events store the callable itself and resolve a label
+lazily at dump time.
+
+Record shapes (first element is the record kind):
+
+* ``("engine", time, step, fn)`` — one engine event about to execute
+* ``("probe", time, step, pid, kind, detail)`` — a cluster probe firing
+* ``("send"|"deliver", time, step, src, dst, msg_type, category)``
+
+A flight record (assembled by the monitor) is a dict with ``reason``,
+``time``/``step``, the violation list, per-invariant check counters, a
+per-node state snapshot and the normalized event ring; see
+:func:`validate_flight_record` for the required shape.
+"""
+
+from __future__ import annotations
+
+import functools
+import json
+import os
+from collections import deque
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.render import Table
+
+__all__ = [
+    "FlightRecorder",
+    "render_flight_record",
+    "validate_flight_record",
+    "write_flight_record",
+]
+
+
+def _describe(fn: Any) -> str:
+    """Best-effort label for an engine event callable.
+
+    Continuations are ``partial(engine._step, proc, value)`` — name the
+    process; network deliveries and other lambdas fall back to their
+    qualified name.
+    """
+    if isinstance(fn, functools.partial):
+        name = getattr(fn.func, "__qualname__", repr(fn.func))
+        for a in fn.args:
+            pname = getattr(a, "name", None)
+            if isinstance(pname, str):
+                return f"{name}({pname})"
+        return name
+    return getattr(fn, "__qualname__", repr(fn))
+
+
+class FlightRecorder:
+    """Ring buffer of recent execution history (see module docstring)."""
+
+    def __init__(self, ring_size: int = 256) -> None:
+        if ring_size < 1:
+            raise ValueError("ring_size must be >= 1")
+        self.ring_size = ring_size
+        self.ring: deque = deque(maxlen=ring_size)
+        self.recorded = 0
+
+    # -- producers (hot path: one append each) --------------------------
+    def on_engine_event(self, time: float, step: int, fn: Callable) -> None:
+        self.ring.append(("engine", time, step, fn))
+        self.recorded += 1
+
+    def on_probe(self, time: float, step: int, pid: int, kind: str,
+                 detail: str) -> None:
+        self.ring.append(("probe", time, step, pid, kind, detail))
+        self.recorded += 1
+
+    def on_message(self, which: str, time: float, step: int, src: int,
+                   dst: int, msg: Any) -> None:
+        self.ring.append(
+            (which, time, step, src, dst,
+             type(msg).__name__, getattr(msg, "category", "?"))
+        )
+        self.recorded += 1
+
+    # -- dump ------------------------------------------------------------
+    def dump(self) -> List[Dict[str, Any]]:
+        """Normalize the current ring contents (oldest first)."""
+        out: List[Dict[str, Any]] = []
+        for rec in self.ring:
+            kind = rec[0]
+            if kind == "engine":
+                out.append(
+                    {"rec": "engine", "time": rec[1], "step": rec[2],
+                     "event": _describe(rec[3])}
+                )
+            elif kind == "probe":
+                out.append(
+                    {"rec": "probe", "time": rec[1], "step": rec[2],
+                     "pid": rec[3], "kind": rec[4], "detail": rec[5]}
+                )
+            else:  # send | deliver
+                out.append(
+                    {"rec": kind, "time": rec[1], "step": rec[2],
+                     "src": rec[3], "dst": rec[4], "msg": rec[5],
+                     "category": rec[6]}
+                )
+        return out
+
+
+# ======================================================================
+# flight-record serialization / rendering / validation
+# ======================================================================
+
+def write_flight_record(path: str, record: Dict[str, Any]) -> None:
+    """Write one flight record as a JSON file (dirs created as needed)."""
+    d = os.path.dirname(path)
+    if d:
+        os.makedirs(d, exist_ok=True)
+    with open(path, "w") as fh:
+        json.dump(record, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def render_flight_record(record: Dict[str, Any], tail: int = 30) -> str:
+    """ASCII post-mortem: reason, violations, node states, event tail."""
+    lines = [
+        f"FLIGHT RECORD — {record['reason']}",
+        f"at virtual time {record['time'] * 1e3:.4f} ms, "
+        f"engine step {record['step']}",
+        "",
+    ]
+    violations = record.get("violations", [])
+    if violations:
+        lines.append(f"{len(violations)} invariant violation(s):")
+        for v in violations:
+            lines.append(
+                f"  [{v['invariant']}] p{v['pid']} @ step {v['step']}: "
+                f"{v['detail']}"
+            )
+    else:
+        lines.append("no invariant violations (crash post-mortem)")
+    lines.append("")
+
+    nodes = Table(
+        "node state",
+        ["pid", "live", "rec", "fin", "vt", "ckpts", "retained",
+         "log B", "rel/acq"],
+    )
+    for n in record.get("nodes", []):
+        nodes.add(
+            n["pid"],
+            "y" if n["live"] else "n",
+            "y" if n["recovering"] else "n",
+            "y" if n["finished"] else "n",
+            tuple(n["vt"]) if n.get("vt") is not None else "-",
+            n.get("checkpoints_taken", "-"),
+            n.get("retained_seqnos", "-"),
+            n.get("log_volatile_bytes", "-"),
+            f"{n.get('rel_entries', '-')}/{n.get('acq_entries', '-')}",
+        )
+    lines.append(nodes.render())
+    lines.append("")
+
+    events = record.get("events", [])
+    shown = events[-tail:]
+    lines.append(
+        f"last {len(shown)} of {len(events)} ring events "
+        f"({record.get('events_recorded', len(events))} recorded in total):"
+    )
+    for e in shown:
+        stamp = f"{e['time'] * 1e3:10.4f} ms #{e['step']:<7d}"
+        if e["rec"] == "engine":
+            lines.append(f"  {stamp} engine   {e['event']}")
+        elif e["rec"] == "probe":
+            lines.append(
+                f"  {stamp} probe    p{e['pid']} {e['kind']} {e['detail']}"
+            )
+        else:
+            lines.append(
+                f"  {stamp} {e['rec']:<8} p{e['src']}->p{e['dst']} "
+                f"{e['msg']} ({e['category']})"
+            )
+    return "\n".join(lines)
+
+
+def validate_flight_record(record: Dict[str, Any]) -> List[str]:
+    """Structural checks on a flight record; empty list = valid."""
+    errors: List[str] = []
+    for key in ("reason", "time", "step", "violations", "checks", "nodes",
+                "cluster", "events"):
+        if key not in record:
+            errors.append(f"missing key {key!r}")
+    if errors:
+        return errors
+    for i, v in enumerate(record["violations"]):
+        for key in ("invariant", "pid", "time", "step", "detail"):
+            if key not in v:
+                errors.append(f"violation {i} missing {key!r}")
+    for i, e in enumerate(record["events"]):
+        if e.get("rec") not in ("engine", "probe", "send", "deliver"):
+            errors.append(f"event {i} has unknown rec {e.get('rec')!r}")
+        elif "time" not in e or "step" not in e:
+            errors.append(f"event {i} missing time/step")
+    for i, n in enumerate(record["nodes"]):
+        if "pid" not in n or "live" not in n:
+            errors.append(f"node {i} missing pid/live")
+    if not isinstance(record["checks"], dict):
+        errors.append("checks is not a mapping")
+    try:
+        json.dumps(record)
+    except (TypeError, ValueError) as exc:
+        errors.append(f"not JSON-serializable: {exc}")
+    return errors

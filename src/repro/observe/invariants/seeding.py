@@ -1,0 +1,175 @@
+"""Seeded invariant violations: deliberate protocol sabotage for
+proving the monitor catches real bugs.
+
+Each seed installs a minimal *double* — a wrapped method that makes the
+fault-tolerance layer misbehave in exactly one way the paper forbids —
+and nothing else. The seeded-violation tests (and the CLI's
+``--seed-violation`` flag) then assert that the
+:class:`~repro.observe.invariants.monitor.InvariantMonitor` flags the
+corresponding invariant class and produces a valid flight record. A
+monitor that stays silent on these runs is broken.
+
+``seed_violation(cluster, kind)`` must be called *after* the monitor is
+attached: the ``fifo`` seed wraps ``network._deliver`` and relies on
+sitting *outside* the monitor's own wrapper, so the reorder happens
+before the monitor's observation point (an inner wrapper would reorder
+invisibly). Seeds that hook the FT layer wrap ``cluster._install_ft``
+because the per-host managers do not exist until setup.
+
+Some seeds corrupt protocol state the run itself depends on (``vclock``
+zeroes a vector time; ``recoverability`` deletes checkpoint copies), so
+the run may legitimately die after the violation is detected — callers
+catch exceptions and assert the violation was recorded first.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = ["SEEDS", "seed_violation"]
+
+
+def _seed_cgc(cluster: Any) -> None:
+    """Break Rule 3.1: CGC passes never collect anything, so stale
+    copies at or below Tmin pile up in every page's retained window."""
+    orig_install = cluster._install_ft
+
+    def install(host: Any) -> None:
+        orig_install(host)
+        host.ckpt_mgr.collect = lambda tmin: 0
+
+    cluster._install_ft = install
+
+
+def _seed_llt(cluster: Any) -> None:
+    """Break Rules 2/3.2: LLT passes skip the diff-log and rel-log
+    trims, so entries at or below the derived bounds are retained."""
+    orig_install = cluster._install_ft
+
+    def install(host: Any) -> None:
+        orig_install(host)
+        host.ft.logs.diff.trim_page = lambda page, creator, min_keep: 0
+        host.ft.logs.rel.trim = lambda acquirer, tckp_component: 0
+
+    cluster._install_ft = install
+
+
+def _seed_vclock(cluster: Any) -> None:
+    """Break vt monotonicity: after p1 completes its first barrier its
+    vector time is zeroed — the next send/delivery refresh sees the
+    regression. The run usually cannot survive this corruption; callers
+    must tolerate a crash after detection."""
+    orig_install = cluster._install_ft
+    state = {"armed": True}
+
+    def install(host: Any) -> None:
+        orig_install(host)
+        if host.pid != 1:
+            return
+        proto = host.proto
+        orig_complete = proto._complete_barrier
+
+        def complete(release: Any) -> None:
+            orig_complete(release)
+            if state["armed"]:
+                state["armed"] = False
+                proto.vt = type(proto.vt).zero(proto.n)
+
+        proto._complete_barrier = complete
+
+    cluster._install_ft = install
+
+
+def _seed_fifo(cluster: Any) -> None:
+    """Break per-channel FIFO: on channel p1->p0, the first delivery
+    that has another message already in flight behind it is held back
+    and delivered after that follower — a one-time adjacent swap. Only
+    holding when a follower is guaranteed to arrive keeps the sabotaged
+    run from deadlocking on a request that never lands. Installed
+    OUTSIDE the monitor's wrapper (seed after attach), so the monitor
+    observes the reordered stream."""
+    net = cluster.network
+    orig_send = net.send
+    orig_deliver = net._deliver
+    chan = (1, 0)
+    state: dict = {"inflight": 0, "held": None, "done": False}
+
+    def send(src: int, dst: int, payload: Any, size: int,
+             category: str, ft_bytes: int = 0) -> None:
+        if (src, dst) == chan:
+            state["inflight"] += 1
+        orig_send(src, dst, payload, size, category, ft_bytes)
+
+    def deliver(src: int, dst: int, payload: Any, epoch: int,
+                size: int = 0) -> None:
+        if (src, dst) == chan:
+            state["inflight"] -= 1
+            if (state["held"] is None and not state["done"]
+                    and state["inflight"] >= 1):
+                state["held"] = (payload, epoch, size)
+                return
+            if state["held"] is not None:
+                state["done"] = True
+                orig_deliver(src, dst, payload, epoch, size)
+                h_payload, h_epoch, h_size = state["held"]
+                state["held"] = None
+                orig_deliver(src, dst, h_payload, h_epoch, h_size)
+                return
+        orig_deliver(src, dst, payload, epoch, size)
+
+    net.send = send
+    net._deliver = deliver
+
+
+def _seed_recoverability(cluster: Any) -> None:
+    """Break the Rule 3 precondition: right after p0's first checkpoint
+    commit, every retained copy of one of its pages is discarded — no
+    recovery could obtain a starting copy for it. Corrupts state a later
+    recovery would need; callers must tolerate a crash after
+    detection."""
+    orig_install = cluster._install_ft
+    state = {"armed": True}
+
+    def install(host: Any) -> None:
+        orig_install(host)
+        if host.pid != 0:
+            return
+        mgr = host.ckpt_mgr
+        orig_commit = mgr.commit_staged
+
+        def commit(*args: Any, **kwargs: Any) -> Any:
+            out = orig_commit(*args, **kwargs)
+            if state["armed"] and mgr.page_copies:
+                state["armed"] = False
+                # drop the key, not just the copies: an empty list would
+                # trip run_cgc in the same engine event, before any
+                # monitor scan could observe the breakage
+                page = next(iter(mgr.page_copies))
+                del mgr.page_copies[page]
+            return out
+
+        mgr.commit_staged = commit
+
+    cluster._install_ft = install
+
+
+SEEDS = {
+    "cgc": _seed_cgc,
+    "llt": _seed_llt,
+    "vclock": _seed_vclock,
+    "fifo": _seed_fifo,
+    "recoverability": _seed_recoverability,
+}
+
+
+def seed_violation(cluster: Any, kind: str) -> None:
+    """Sabotage ``cluster`` so that invariant class ``kind`` is violated.
+
+    Call after attaching the monitor and before ``cluster.run``.
+    """
+    try:
+        SEEDS[kind](cluster)
+    except KeyError:
+        raise ValueError(
+            f"unknown seed {kind!r}; one of {sorted(SEEDS)}"
+        ) from None

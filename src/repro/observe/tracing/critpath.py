@@ -364,7 +364,7 @@ def render_critpath_report(
 ) -> str:
     """ASCII critical-path report: top segments, per-cause totals,
     worst lock chains, reconciliation status."""
-    from repro.metrics.report import Table
+    from repro.render import Table
 
     lines: List[str] = []
     wall = segments[-1].t1 if segments else 0.0

@@ -177,3 +177,32 @@ def test_bench_runs_deterministic_across_profile(profile):
     assert a.total_msgs == b.total_msgs
     assert a.total_bytes == b.total_bytes
     assert a.events == b.events
+
+
+def test_golden_unchanged_with_monitor_attached():
+    """The invariant monitor must not perturb the monitored run.
+
+    The InvariantMonitor wraps sends, deliveries, probes and the engine
+    event tap but only reads protocol state — no messages, no CPU
+    charges, no clock perturbation. Every timestamp and traffic counter
+    must still match the golden pins, while the monitor demonstrably
+    checked every invariant class and found nothing (DESIGN.md §9).
+    """
+    from repro.observe import INVARIANTS, InvariantMonitor
+
+    cluster = make_cluster(4, ft=True)
+    monitor = InvariantMonitor(cluster)
+    result = cluster.run(make_app("counter"))
+    assert monitor.finish() == []
+    traffic = result.traffic
+    got = {
+        "wall_time_hex": result.wall_time.hex(),
+        "total_bytes": traffic.total_bytes,
+        "total_msgs": traffic.total_msgs,
+        "bytes_by_category": dict(sorted(traffic.bytes_by_category.items())),
+        "msgs_by_category": dict(sorted(traffic.msgs_by_category.items())),
+    }
+    assert got == GOLDEN[("counter", True)]
+    # and the monitor did actually monitor
+    for kind in INVARIANTS:
+        assert monitor.checks[kind] > 0, f"{kind} never checked"

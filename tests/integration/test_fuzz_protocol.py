@@ -107,10 +107,21 @@ def run_fuzz(seed: int, crash: Tuple[int, float] | None, ft: bool = True):
         ft=ft,
         policy_factory=lambda pid, fp: LogOverflowPolicy(0.05, fp),
     )
+    monitor = None
+    if ft:
+        # the invariant monitor rides along on every FT fuzz run: any
+        # trim/vclock/FIFO/recoverability violation fails the test even
+        # when the final memory happens to come out right
+        from repro.observe import InvariantMonitor
+
+        monitor = InvariantMonitor(cluster, scan_every=20)
     if crash is not None:
         cluster.schedule_crash(crash[0], at_time=crash[1])
     app = FuzzApp(seed)
     res = cluster.run(app)
+    if monitor is not None:
+        violations = monitor.finish()
+        assert not violations, [v.render() for v in violations]
     return np.asarray(cluster.shared_snapshot(app.r)).copy(), res
 
 

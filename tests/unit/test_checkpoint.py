@@ -193,3 +193,39 @@ def test_discard_torn_noop_when_clean():
     mgr = mk_mgr()
     assert mgr.discard_torn() == 0
     assert mgr.torn_discarded == 0
+
+
+def test_cgc_racing_staged_checkpoint_leaves_stage_intact():
+    """CGC pass racing the stage→commit window.
+
+    ``take_checkpoint`` stages the new checkpoint, then spends virtual
+    time on the disk write before committing; a piggybacked Tckp can
+    trigger a CGC-relevant state change in between. A collect in that
+    window must treat the staged checkpoint as nonexistent: it is not
+    the restart point, its pages are not retained copies, and the
+    commit that follows must land exactly as if no collect had run.
+    """
+    mgr = mk_mgr()
+    c1 = mk_ckpt(0, 1, vt(2, 0, 0, 0))
+    mgr.commit(c1, {P0: (b"\x01" * 64, vt(2, 0, 0, 0))})
+
+    c2 = mk_ckpt(0, 2, vt(6, 0, 0, 0))
+    homed = {P0: (b"\x02" * 64, vt(6, 0, 0, 0))}
+    mgr.stage(c2, homed)
+
+    # collect with an aggressive Tmin while c2 is staged-but-uncommitted
+    mgr.collect(vt(99, 99, 99, 99))
+    # the committed c1 is the latest and survives (never collect latest);
+    # the staged c2 contributed nothing collectible and stays pending
+    assert mgr.latest is c1
+    assert [c.ckpt_seqno for c in mgr.page_copies[P0]] == [1]
+    assert mgr.store.is_pending(("ckpt", 2))
+    assert 2 not in mgr.checkpoints
+
+    # commit still lands cleanly after the racing collect
+    mgr.commit_staged(c2, homed)
+    assert mgr.latest is c2
+    assert [c.ckpt_seqno for c in mgr.page_copies[P0]] == [1, 2]
+    # retained floor stayed monotone throughout: versions only grow
+    versions = [c.version[0] for c in mgr.page_copies[P0]]
+    assert versions == sorted(versions)

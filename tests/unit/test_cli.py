@@ -169,6 +169,48 @@ def test_trace_subcommand_crash_requires_ft(capsys):
     assert main(["trace", "counter", "--no-ft", "--crash", "2@0.5"]) == 2
 
 
+def test_monitor_subcommand(capsys):
+    rc = main(["monitor", "counter", "--procs", "4", "--steps", "4"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "counter on 4 simulated nodes" in out
+    assert "ALL INVARIANTS HELD" in out
+    for kind in ("cgc", "llt", "vclock", "fifo", "recoverability"):
+        assert kind in out
+
+
+def test_monitor_subcommand_with_crash(capsys):
+    rc = main([
+        "monitor", "counter",
+        "--procs", "4", "--steps", "4", "--crash", "1@0.5",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "1 crash(es)" in out
+
+
+def test_monitor_subcommand_seeded_violation(tmp_path, capsys):
+    flight = tmp_path / "flight.json"
+    rc = main([
+        "monitor", "counter",
+        "--procs", "4", "--steps", "4",
+        "--seed-violation", "cgc", "--flight", str(flight),
+    ])
+    assert rc == 1
+    out = capsys.readouterr().out
+    assert "FLIGHT RECORD" in out
+    assert f"flight record written to {flight}" in out
+
+    import json
+
+    from repro.observe import validate_flight_record
+
+    dump = json.loads(flight.read_text())
+    assert validate_flight_record(dump) == []
+    assert dump["violations"]
+    assert all(v["invariant"] == "cgc" for v in dump["violations"])
+
+
 def test_crashsweep_rejects_bad_class():
     with pytest.raises(SystemExit):
         # argparse exits on unknown app; unknown class raises ValueError

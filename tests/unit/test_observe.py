@@ -133,6 +133,25 @@ def test_barrier_cadence_one_sample_per_episode():
     assert xs == sorted(xs)
 
 
+def test_ckpts_retained_series_sampled_per_node():
+    """The ``ft.ckpts_retained`` gauge (the paper's bounded-window claim
+    made observable) must produce a per-node series: positive from the
+    first sample (the virtual checkpoint 0 is always retained), never
+    absurdly large, and present for every node."""
+    cluster = make_cluster(num_procs=4, ft=True)
+    obs = ClusterObserver(cluster, interval=1e-3, sample_on_barrier=True)
+    cluster.run(make_app("counter"))
+    obs.sample()
+    series = obs.registry.series_by_name("ft.ckpts_retained")
+    assert sorted(series) == [0, 1, 2, 3]
+    for points in series.values():
+        assert points, "node sampled no ft.ckpts_retained points"
+        assert all(1 <= v <= 8 for _, v in points)
+    # at least one node must have held >1 checkpoint at some sample
+    # (the uncoordinated window opens between commit and peer learning)
+    assert any(v > 1 for pts in series.values() for _, v in pts)
+
+
 def test_disabled_registry_observer_records_nothing():
     cluster = make_cluster(num_procs=4, ft=True)
     obs = ClusterObserver(
@@ -155,6 +174,7 @@ def test_report_roundtrip_and_validation(tmp_path):
     reg.counter("ft.log_volatile_bytes", 0).inc(10)
     reg.counter("ft.log_saved_bytes", 0).inc(4)
     reg.counter("dsm.diff_bytes_sent", 0).inc(2)
+    reg.gauge("ft.ckpts_retained", 0, lambda: 2.0)
     reg.histogram("dsm.fetch_wait_s", 0).observe(1e-4)
     reg.sample(0.25)
     report = build_report(reg, {"app": "unit"})

@@ -1,8 +1,8 @@
-"""Unit tests for report formatting."""
+"""Unit tests for the shared ASCII rendering helpers (repro.render)."""
 
 import pytest
 
-from repro.metrics.report import Table, ascii_series, format_bytes, format_pct
+from repro.render import Table, ascii_series, format_bytes, format_pct
 
 
 def test_format_bytes():
@@ -88,3 +88,14 @@ def test_ascii_series_single_point():
     # both ranges degenerate: the single mark is centered, not cornered
     assert grid[5 // 2][20 // 2] == "o"
     assert sum(r.count("o") for r in grid) == 1
+
+
+def test_metrics_report_compat_reexport():
+    # repro.metrics.report remains as a compatibility alias; the objects
+    # must be the same, not parallel copies
+    from repro.metrics import report as compat
+
+    assert compat.Table is Table
+    assert compat.ascii_series is ascii_series
+    assert compat.format_bytes is format_bytes
+    assert compat.format_pct is format_pct
