@@ -26,12 +26,16 @@ from repro.core import LogOverflowPolicy
 from repro.sim.network import MetaClusterConfig, NetworkConfig
 from repro.sim.node import TimeBucket
 
-APPS = ["counter", "barnes", "water-nsq", "water-spatial", "lu", "tables", "bench"]
+APPS = [
+    "counter", "kvstore", "barnes", "water-nsq", "water-spatial", "lu",
+    "tables", "bench",
+]
 
 
 def make_app(name: str, steps: Optional[int], size: Optional[int]) -> Any:
     from repro.apps.barnes import BarnesApp, BarnesConfig
     from repro.apps.counter import CounterApp, CounterConfig
+    from repro.apps.kvstore import KvStoreApp, KvStoreConfig
     from repro.apps.lu import LuApp, LuConfig
     from repro.apps.water_nsq import WaterNsqApp, WaterNsqConfig
     from repro.apps.water_spatial import WaterSpatialApp, WaterSpatialConfig
@@ -43,6 +47,13 @@ def make_app(name: str, steps: Optional[int], size: Optional[int]) -> Any:
         if size:
             cfg.n_elements = size
         return CounterApp(cfg)
+    if name == "kvstore":
+        cfg = KvStoreConfig()
+        if steps:
+            cfg.steps = steps
+        if size:
+            cfg.n_keys = size
+        return KvStoreApp(cfg)
     if name == "barnes":
         cfg = BarnesConfig()
         if steps:
@@ -119,6 +130,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="scale for the 'tables' harness")
     bench = p.add_argument_group("bench", "options for the 'bench' subcommand")
     bench.add_argument(
+        "--suite", default="core", choices=["core", "scale"],
+        help="bench: 'core' hot-path suite or the 'scale' node-count curve",
+    )
+    bench.add_argument(
         "--smoke", action="store_true",
         help="bench: run the reduced smoke suite (used by CI)",
     )
@@ -127,8 +142,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="bench: attach cProfile to the app benches and print hot spots",
     )
     bench.add_argument(
-        "--bench-json", default="benchmarks/BENCH_core.json", metavar="PATH",
-        help="bench: baseline file to record to / check against",
+        "--bench-json", default=None, metavar="PATH",
+        help="bench: baseline file to record to / check against "
+        "(default benchmarks/BENCH_core.json or BENCH_scale.json per suite)",
     )
     bench.add_argument(
         "--check", action="store_true",
@@ -489,9 +505,10 @@ def build_monitor_parser() -> argparse.ArgumentParser:
         help="flight-recorder ring size in events (default 256)",
     )
     p.add_argument(
-        "--scan-every", type=int, default=1, metavar="N",
+        "--scan-every", type=int, default=None, metavar="N",
         help="run the structural recoverability scan every Nth message "
-        "delivery (default 1 = every delivery)",
+        "delivery (default: every delivery on small clusters, "
+        "num_procs/16 on wide ones)",
     )
     p.add_argument(
         "--flight", default=None, metavar="PATH",
@@ -593,26 +610,35 @@ def main(argv: Optional[list] = None) -> int:
     if args.app == "bench":
         from repro.metrics.bench import (
             check_report,
+            check_scale_report,
             render_report,
+            run_scale_suite,
             run_suite,
             write_report,
         )
 
-        report = run_suite(smoke=args.smoke, profile=args.profile)
+        scale = args.suite == "scale"
+        bench_json = args.bench_json or (
+            "benchmarks/BENCH_scale.json" if scale
+            else "benchmarks/BENCH_core.json"
+        )
+        runner = run_scale_suite if scale else run_suite
+        report = runner(smoke=args.smoke, profile=args.profile)
         print(render_report(report))
         if args.check:
-            ok, msg = check_report(args.bench_json, report, budget=args.budget)
+            checker = check_scale_report if scale else check_report
+            ok, msg = checker(bench_json, report, budget=args.budget)
             print(("PASS " if ok else "FAIL ") + msg)
             return 0 if ok else 1
         if args.smoke or args.profile:
             # smoke/profiled numbers are not comparable to the full suite;
             # recording them would silently corrupt the committed baseline
             print("\n(smoke/profile run not recorded; run plain "
-                  "`repro bench` to update " + args.bench_json + ")")
+                  "`repro bench` to update " + bench_json + ")")
             return 0
-        payload = write_report(args.bench_json, report)
+        payload = write_report(bench_json, report)
         speedup = payload.get("speedup_events_per_sec")
-        print(f"\nrecorded to {args.bench_json}"
+        print(f"\nrecorded to {bench_json}"
               + (f" (x{speedup} vs baseline)" if speedup else ""))
         return 0
 

@@ -20,12 +20,14 @@ __all__ = ["AppConfig", "DsmApp"]  # app classes re-exported below once defined
 try:  # pragma: no cover
     from repro.apps.barnes import BarnesApp, BarnesConfig
     from repro.apps.counter import CounterApp, CounterConfig
+    from repro.apps.kvstore import KvStoreApp, KvStoreConfig
     from repro.apps.water_nsq import WaterNsqApp, WaterNsqConfig
     from repro.apps.water_spatial import WaterSpatialApp, WaterSpatialConfig
     from repro.apps.lu import LuApp, LuConfig
 
     __all__ += [
         "BarnesApp", "BarnesConfig", "CounterApp", "CounterConfig",
+        "KvStoreApp", "KvStoreConfig",
         "WaterNsqApp", "WaterNsqConfig",
         "WaterSpatialApp", "WaterSpatialConfig", "LuApp", "LuConfig",
     ]

@@ -32,6 +32,8 @@ import pickle
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterator, List, Optional, Set, Tuple
 
+import numpy as np
+
 from repro.core.checkpoint import Checkpoint, CheckpointManager
 from repro.core.logs import VolatileLogs
 from repro.core.policies import CheckpointPolicy
@@ -107,17 +109,12 @@ class FtManager(FtHooks):
         self.buddy_selfgrants: Dict[int, Dict[int, List[VClock]]] = {}
         #: dst -> pending (page, p0.v[dst]) advertisements
         self.pending_adverts: Dict[int, List[Tuple[PageId, int]]] = {}
-        #: dst -> proc -> last (tckp, bar_ep) piggybacked there (delta
-        #: encoding: known checkpoint timestamps are gossiped, but travel
-        #: to each destination only once)
-        self._sent_tckp: Dict[int, Dict[int, Tuple[VClock, int]]] = {}
-        #: dst -> trim.gen at the last full delta scan for that dst
+        #: dst -> trim.gen synced to that destination; paired with the
+        #: per-row change stamps in ``trim.row_gen``, the delta encoder
+        #: ships exactly the rows that changed since (no per-proc scan)
         self._sent_gen: Dict[int, int] = {}
         #: a policy asked for a checkpoint; taken at the next safe point
         self.checkpoint_requested = False
-        #: zero-vector tuple, prebuilt once (piggyback_for compares every
-        #: known tckp against it on every outgoing message)
-        self._zero_v: Tuple[int, ...] = VClock.zero(self.n).v
         #: supplies the application's resumable private state
         self.app_state_fn: Callable[[], Any] = lambda: {}
         #: set by the cluster: the ProcHost we live on (None when the
@@ -216,19 +213,19 @@ class FtManager(FtHooks):
             adverts = tuple(pending[:k])
             del pending[:k]
         # gossip with delta encoding: ship every known (own and learned)
-        # checkpoint timestamp that this destination has not seen from us
-        sent = self._sent_tckp.setdefault(dst, {})
+        # checkpoint timestamp that this destination has not seen from us.
+        # A row's change stamp (trim.row_gen) exceeds the destination's
+        # synced gen exactly when that row changed since the last
+        # piggyback there; unchanged (and still-zero) rows are skipped
+        # without being visited.
+        trim = self.trim
+        changed = np.flatnonzero(trim.row_gen > self._sent_gen.get(dst, 0))
         tckps = []
-        for proc in range(self.n):
+        for proc in changed.tolist():
             if proc == dst:
                 continue
-            cur = (self.trim.tckp[proc], self.trim.bar_ep[proc])
-            if cur[1] == 0 and cur[0].v == self._zero_v:
-                continue  # nothing known yet
-            if sent.get(proc) != cur:
-                sent[proc] = cur
-                tckps.append((proc, cur[0], cur[1]))
-        self._sent_gen[dst] = self.trim.gen
+            tckps.append((proc, trim.tckp[proc], trim.bar_ep[proc]))
+        self._sent_gen[dst] = trim.gen
         if not tckps and not adverts:
             return None
         return Piggyback(tckps=tuple(tckps), page_versions=adverts)

@@ -42,7 +42,7 @@ import numpy as np
 from repro.core.checkpoint import Checkpoint
 from repro.core.ftmanager import FtManager
 from repro.core.logs import RelEntry
-from repro.dsm.diff import Diff, apply_diff
+from repro.dsm.diff import Diff, apply_diff, concat_diffs, merge_runs
 from repro.dsm.interval import NoticeTable
 from repro.dsm.messages import (
     RecoveryDone,
@@ -559,12 +559,20 @@ class ReplayDriver:
 
     def apply_eligible_home_diffs(self) -> None:
         """Apply collected diffs for our homed pages that happened before
-        the current replay point."""
+        the current replay point.
+
+        Newly eligible entries are batched per page: when the coverage
+        union (:func:`merge_runs`) proves their byte ranges disjoint —
+        the common case, since HLRC writers of a page partition it — the
+        batch collapses into one concatenated diff applied with a single
+        vectorized scatter; overlapping batches fall back to sequential
+        application in pool (componentwise-sum) order.
+        """
         proto = self.proto
         vt = proto.vt
         for page, pool in self.home_pool.items():
             hp = proto.home[page]
-            buf = proto.page_bytes(page)
+            batch = []
             for e in pool:
                 if e.applied:
                     continue
@@ -574,8 +582,19 @@ class ReplayDriver:
                 e.applied = True
                 if hp.is_duplicate(e.creator, interval):
                     continue
-                apply_diff(buf, e.diff)
-                hp.advance(e.creator, interval)
+                batch.append((e, interval))
+            if batch:
+                buf = proto.page_bytes(page)
+                diffs = [e.diff for e, _ in batch]
+                if len(diffs) > 1 and sum(
+                    hi - lo for lo, hi in merge_runs(diffs)
+                ) == sum(d.payload_bytes for d in diffs):
+                    apply_diff(buf, concat_diffs(diffs))
+                else:
+                    for d in diffs:
+                        apply_diff(buf, d)
+                for e, interval in batch:
+                    hp.advance(e.creator, interval)
             proto.have_v[page] = proto.have_v[page].join(hp.version)
 
     def apply_all_home_diffs(self) -> None:

@@ -18,12 +18,28 @@ The rules:
   with ``version <= Tmin = min_{j≠H} T̂ckp_j``.
 * **Rule 3.2** (LLT): a writer retains ``diff_log(p)`` entries with
   ``diff.T[i] > p0.v[i]``.
+
+Incremental bounds
+------------------
+The derived bounds used to rescan all N peers on every query; with every
+trim decision consulting them, that put an O(N) Python loop on the
+checkpoint path. The knowledge is monotone — ``learn_tckp`` only ever
+raises components, ``learn_p0v`` only raises versions — so the bounds
+are maintained incrementally instead: a peer-row matrix mirror carries a
+per-column running (min, argmin), updated in :meth:`learn_tckp` and
+recomputed for a column only when the argmin row itself advances (each
+column recompute is vectorized and amortizes against the frontier
+actually moving). Every Rule 1/2/3.2 bound query — and :meth:`tmin` off
+the cached column mins — is then O(1). The previous rescan
+implementations survive as ``_rescan_*`` reference oracles for the
+equivalence tests.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional
+
+import numpy as np
 
 from repro.dsm.pages import PageId
 from repro.dsm.vclock import VClock
@@ -46,6 +62,29 @@ class TrimmingInfo:
         #: bumped on every actual tckp/bar_ep change; lets the gossip
         #: encoder skip its per-destination delta scan when nothing moved
         self.gen = 0
+        #: gen at the last change of each (tckp, bar_ep) row — the gossip
+        #: encoder ships exactly the rows newer than a destination's
+        #: last-synced gen instead of rescanning all N
+        self.row_gen = np.zeros(num_procs, dtype=np.int64)
+        # --- incremental Rule 1 / 3.1 state (peers only) ---------------
+        self._peer_rows = np.array(
+            [j for j in range(num_procs) if j != pid], dtype=np.int64
+        )
+        #: row j mirrors tckp[j] for peer rows (own row stays zero: it
+        #: never participates in the peer minima)
+        self._mat = np.zeros((num_procs, num_procs), dtype=np.int64)
+        #: per-column min/argmin over peer rows of ``_mat``
+        self._col_min = np.zeros(num_procs, dtype=np.int64)
+        self._col_arg = np.full(
+            num_procs, self._peer_rows[0] if len(self._peer_rows) else 0,
+            dtype=np.int64,
+        )
+        self._tmin_cache: Optional[VClock] = (
+            VClock.zero(num_procs) if len(self._peer_rows) else None
+        )
+        # --- incremental barrier bound ---------------------------------
+        self._bar_min = 0
+        self._bar_arg = int(self._peer_rows[0]) if len(self._peer_rows) else 0
 
     # ------------------------------------------------------------------
     # updates from piggybacked control data
@@ -57,9 +96,29 @@ class TrimmingInfo:
         if new is not cur:  # join returns the operand when dominated
             self.tckp[proc] = new
             self.gen += 1
+            self.row_gen[proc] = self.gen
+            if proc != self.pid and self.n > 1:
+                row = new.as_array()
+                grew = np.flatnonzero(row > self._mat[proc])
+                self._mat[proc] = row
+                # a column min can only change when its argmin row grew
+                stale = grew[self._col_arg[grew] == proc]
+                if len(stale):
+                    sub = self._mat[self._peer_rows[:, None], stale]
+                    arg = sub.argmin(axis=0)
+                    self._col_min[stale] = sub[arg, np.arange(len(stale))]
+                    self._col_arg[stale] = self._peer_rows[arg]
+                    self._tmin_cache = None
         if bar_ep > self.bar_ep[proc]:
             self.bar_ep[proc] = bar_ep
             self.gen += 1
+            self.row_gen[proc] = self.gen
+            if proc != self.pid and proc == self._bar_arg:
+                peers = self._peer_rows
+                vals = [self.bar_ep[j] for j in peers.tolist()]
+                k = min(range(len(vals)), key=vals.__getitem__)
+                self._bar_min = vals[k]
+                self._bar_arg = int(peers[k])
 
     def learn_p0v(self, page: PageId, version_component: int) -> None:
         cur = self.p0v.get(page, 0)
@@ -71,21 +130,18 @@ class TrimmingInfo:
     # ------------------------------------------------------------------
     def tmin(self) -> VClock:
         """Rule 3.1 bound: componentwise min of *other* processes' T̂ckp."""
-        out: Optional[VClock] = None
-        for j in range(self.n):
-            if j == self.pid:
-                continue
-            out = self.tckp[j] if out is None else out.meet(self.tckp[j])
-        if out is None:  # single-process cluster
+        if not len(self._peer_rows):  # single-process cluster
             return self.tckp[self.pid]
+        out = self._tmin_cache
+        if out is None:
+            out = self._tmin_cache = VClock.from_array(self._col_min)
         return out
 
     def wn_keep_from(self) -> int:
         """Rule 1 bound: first own interval that must be retained."""
-        vals = [self.tckp[j][self.pid] for j in range(self.n) if j != self.pid]
-        if not vals:
+        if not len(self._peer_rows):
             return 1
-        return min(vals) + 1
+        return int(self._col_min[self.pid]) + 1
 
     def rel_bound(self, acquirer: int) -> int:
         """Rule 2 bound for rel_log[acquirer]."""
@@ -101,5 +157,29 @@ class TrimmingInfo:
 
     def bar_keep_from(self) -> int:
         """Barrier-log analogue of Rule 2: min checkpointed episode of peers."""
+        if not len(self._peer_rows):
+            return 0
+        return self._bar_min
+
+    # ------------------------------------------------------------------
+    # rescan reference implementations (oracles for the incremental state)
+    # ------------------------------------------------------------------
+    def _rescan_tmin(self) -> VClock:
+        out: Optional[VClock] = None
+        for j in range(self.n):
+            if j == self.pid:
+                continue
+            out = self.tckp[j] if out is None else out.meet(self.tckp[j])
+        if out is None:
+            return self.tckp[self.pid]
+        return out
+
+    def _rescan_wn_keep_from(self) -> int:
+        vals = [self.tckp[j][self.pid] for j in range(self.n) if j != self.pid]
+        if not vals:
+            return 1
+        return min(vals) + 1
+
+    def _rescan_bar_keep_from(self) -> int:
         vals = [self.bar_ep[j] for j in range(self.n) if j != self.pid]
         return min(vals) if vals else 0

@@ -5,22 +5,49 @@ at flush time the *diff* is the set of byte runs where the current page
 differs from the twin. Diffs are what writers send to homes and what the
 fault-tolerance layer logs ("logs only changes made to a page", §2).
 
-The scan is vectorized with NumPy (the guide's "vectorizing for loops"):
-a byte-wise inequality mask is reduced to run boundaries with
-``np.flatnonzero`` on the XOR of adjacent mask elements.
+Representation
+--------------
+A diff is three flat pieces: an ``int64`` array of run ``offsets``, an
+``int64`` array of run ``lengths``, and one contiguous ``payload`` bytes
+buffer holding every run's data back to back. Compared to the previous
+per-run ``(offset, bytes)`` tuples this allocates O(1) Python objects per
+diff instead of O(runs), and both ends of the hot path are vectorized:
+:func:`compute_diff` gathers the payload with one fancy-indexed read and
+:func:`apply_diff` scatters it with one fancy-indexed write, so the
+many-tiny-runs case costs the same per byte as the single-run case.
+
+Coalescing
+----------
+Adjacent runs separated by at most ``gap`` unchanged bytes can be merged
+into one run carrying the (identical) gap bytes. With
+``gap <= RUN_HEADER_BYTES`` the merge never increases ``size_bytes``:
+each merge adds ``gap`` payload bytes but saves one run header. The gap
+bytes rewrite bytes at the home that the writer did not change, which is
+safe for data-race-free programs whose concurrent writers partition a
+page at ≥ ``gap`` granularity (8 bytes — one float64 element, the finest
+partition any of the workloads uses). ``compute_diff`` defaults to
+``gap=0`` (exact diffs — the protocol's golden-pinned behavior);
+the log/bench layers opt in where density makes it pay.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["Diff", "compute_diff", "apply_diff", "merge_runs"]
+__all__ = ["Diff", "compute_diff", "apply_diff", "merge_runs", "concat_diffs"]
 
 #: modeled per-run wire/log overhead: (offset: u16, length: u16) plus
 #: alignment — 8 bytes, matching compact diff encodings in real systems.
 RUN_HEADER_BYTES = 8
+
+#: gap threshold at which coalescing two runs can never grow the encoded
+#: size (the gap payload it adds is at most the run header it saves)
+COALESCE_GAP = RUN_HEADER_BYTES
+
+_EMPTY_I64 = np.zeros(0, dtype=np.int64)
+_EMPTY_I64.setflags(write=False)
 
 
 class Diff:
@@ -31,75 +58,204 @@ class Diff:
     trim decision, so recomputing the sums there dominated profiles.
     """
 
-    __slots__ = ("runs", "payload_bytes", "size_bytes")
+    __slots__ = (
+        "offsets",
+        "lengths",
+        "payload",
+        "payload_bytes",
+        "size_bytes",
+        "_runs",
+        "_hash",
+    )
 
     def __init__(self, runs: Iterable[Tuple[int, bytes]] = ()) -> None:
-        #: (offset, data), sorted by offset
-        self.runs: Tuple[Tuple[int, bytes], ...] = tuple(runs)
-        payload = 0
-        for _, data in self.runs:
-            payload += len(data)
-        self.payload_bytes = payload
+        runs = tuple(runs)
+        if runs:
+            self.offsets = np.fromiter(
+                (o for o, _ in runs), dtype=np.int64, count=len(runs)
+            )
+            self.lengths = np.fromiter(
+                (len(d) for _, d in runs), dtype=np.int64, count=len(runs)
+            )
+            self.offsets.setflags(write=False)
+            self.lengths.setflags(write=False)
+            self.payload = b"".join(d for _, d in runs)
+        else:
+            self.offsets = _EMPTY_I64
+            self.lengths = _EMPTY_I64
+            self.payload = b""
+        self._runs: Optional[Tuple[Tuple[int, bytes], ...]] = runs
+        self._hash: Optional[int] = None
+        self.payload_bytes = len(self.payload)
         #: modeled encoded size (payload + per-run headers)
-        self.size_bytes = payload + RUN_HEADER_BYTES * len(self.runs)
+        self.size_bytes = self.payload_bytes + RUN_HEADER_BYTES * len(runs)
+
+    @classmethod
+    def from_arrays(
+        cls, offsets: np.ndarray, lengths: np.ndarray, payload: bytes
+    ) -> "Diff":
+        """Wrap already-validated run arrays without re-encoding."""
+        self = object.__new__(cls)
+        offsets.setflags(write=False)
+        lengths.setflags(write=False)
+        self.offsets = offsets
+        self.lengths = lengths
+        self.payload = payload
+        self._runs = None
+        self._hash = None
+        self.payload_bytes = len(payload)
+        self.size_bytes = self.payload_bytes + RUN_HEADER_BYTES * len(offsets)
+        return self
+
+    @property
+    def runs(self) -> Tuple[Tuple[int, bytes], ...]:
+        """Per-run ``(offset, data)`` view (materialized on demand)."""
+        r = self._runs
+        if r is None:
+            bounds = np.cumsum(self.lengths).tolist()
+            starts = [0] + bounds[:-1]
+            payload = self.payload
+            r = self._runs = tuple(
+                (o, payload[s:e])
+                for o, s, e in zip(self.offsets.tolist(), starts, bounds)
+            )
+        return r
 
     @property
     def empty(self) -> bool:
-        return not self.runs
+        return len(self.offsets) == 0
 
     def __eq__(self, other: object) -> bool:
-        return isinstance(other, Diff) and self.runs == other.runs
+        return (
+            isinstance(other, Diff)
+            and self.payload == other.payload
+            and np.array_equal(self.offsets, other.offsets)
+            and np.array_equal(self.lengths, other.lengths)
+        )
 
     def __hash__(self) -> int:
-        return hash(self.runs)
+        h = self._hash
+        if h is None:
+            h = self._hash = hash(
+                (self.offsets.tobytes(), self.lengths.tobytes(), self.payload)
+            )
+        return h
 
     def covered(self) -> List[Tuple[int, int]]:
         """[(offset, end)) intervals touched by this diff."""
-        return [(off, off + len(d)) for off, d in self.runs]
+        return list(
+            zip(self.offsets.tolist(), (self.offsets + self.lengths).tolist())
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"Diff({len(self.runs)} runs, {self.payload_bytes}B)"
+        return f"Diff({len(self.offsets)} runs, {self.payload_bytes}B)"
 
 
-def compute_diff(twin: np.ndarray, page: np.ndarray) -> Diff:
-    """Diff of ``page`` against its ``twin`` (both uint8, same length)."""
+_EMPTY_DIFF = Diff(())
+
+
+def _scatter_index(offsets: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+    """Page positions of every payload byte, in payload order.
+
+    Standard repeat/cumsum trick: payload byte ``k`` of run ``r`` lands at
+    ``offsets[r] + (k - payload_start[r])``.
+    """
+    bounds = np.cumsum(lengths)
+    starts = np.concatenate((bounds[:1] * 0, bounds[:-1]))
+    return np.arange(int(bounds[-1])) + np.repeat(offsets - starts, lengths)
+
+
+def compute_diff(twin: np.ndarray, page: np.ndarray, gap: int = 0) -> Diff:
+    """Diff of ``page`` against its ``twin`` (both uint8, same length).
+
+    ``gap > 0`` coalesces runs separated by at most ``gap`` unchanged
+    bytes (see module docstring for the size/safety argument).
+    """
     if twin.shape != page.shape:
         raise ValueError(f"shape mismatch: {twin.shape} vs {page.shape}")
     if twin.dtype != np.uint8 or page.dtype != np.uint8:
         raise TypeError("pages must be uint8 arrays")
     neq = twin != page
     if not neq.any():
-        return Diff(())
+        return _EMPTY_DIFF
     # Boundaries where the mask flips; prepend/append sentinels so that
     # runs touching the page edges are closed.
     padded = np.concatenate(([False], neq, [False]))
-    edges = np.flatnonzero(padded[1:] != padded[:-1]).tolist()
-    # one bulk copy, then O(1) bytes slices per run — much cheaper than a
-    # per-run ndarray slice + tobytes when runs are small and many
-    raw = page.tobytes()
-    runs = tuple(
-        (s, raw[s:e]) for s, e in zip(edges[0::2], edges[1::2])
-    )
-    return Diff(runs)
+    edges = np.flatnonzero(padded[1:] != padded[:-1])
+    starts, ends = edges[0::2], edges[1::2]
+    if gap > 0 and len(starts) > 1:
+        keep = (starts[1:] - ends[:-1]) > gap
+        starts = starts[np.concatenate(([True], keep))]
+        ends = ends[np.concatenate((keep, [True]))]
+    lengths = ends - starts
+    if len(starts) == 1:
+        payload = page[int(starts[0]) : int(ends[0])].tobytes()
+    else:
+        payload = page[_scatter_index(starts, lengths)].tobytes()
+    return Diff.from_arrays(starts, lengths, payload)
 
 
 def apply_diff(page: np.ndarray, diff: Diff) -> None:
     """Apply ``diff`` in place to ``page`` (uint8)."""
+    offsets, lengths = diff.offsets, diff.lengths
+    k = len(offsets)
+    if k == 0:
+        return
     n = len(page)
-    for off, data in diff.runs:
-        end = off + len(data)
+    if k == 1:
+        off, end = int(offsets[0]), int(offsets[0] + lengths[0])
         if off < 0 or end > n:
             raise ValueError(f"diff run [{off},{end}) outside page of {n} bytes")
-        page[off:end] = np.frombuffer(data, dtype=np.uint8)
+        page[off:end] = np.frombuffer(diff.payload, dtype=np.uint8)
+        return
+    ends = offsets + lengths
+    if int(offsets.min()) < 0 or int(ends.max()) > n:
+        bad = int(np.flatnonzero((offsets < 0) | (ends > n))[0])
+        raise ValueError(
+            f"diff run [{int(offsets[bad])},{int(ends[bad])}) outside page "
+            f"of {n} bytes"
+        )
+    page[_scatter_index(offsets, lengths)] = np.frombuffer(
+        diff.payload, dtype=np.uint8
+    )
 
 
-def merge_runs(diffs: List[Diff]) -> List[Tuple[int, int]]:
-    """Union of the byte intervals covered by several diffs (for tests)."""
-    ivals = sorted(iv for d in diffs for iv in d.covered())
-    out: List[Tuple[int, int]] = []
-    for s, e in ivals:
-        if out and s <= out[-1][1]:
-            out[-1] = (out[-1][0], max(out[-1][1], e))
-        else:
-            out.append((s, e))
-    return out
+def merge_runs(diffs: Sequence[Diff]) -> List[Tuple[int, int]]:
+    """Union of the byte intervals covered by several diffs.
+
+    The coverage-union helper of the recovery replay path: the replay
+    driver uses it to prove a batch of pooled home diffs write disjoint
+    bytes (union size == total payload) before applying them in one
+    vectorized scatter.
+    """
+    nonempty = [d for d in diffs if len(d.offsets)]
+    if not nonempty:
+        return []
+    starts = np.concatenate([d.offsets for d in nonempty])
+    ends = starts + np.concatenate([d.lengths for d in nonempty])
+    order = np.argsort(starts, kind="stable")
+    starts, ends = starts[order], ends[order]
+    frontier = np.maximum.accumulate(ends)
+    new_run = np.concatenate(([True], starts[1:] > frontier[:-1]))
+    first = np.flatnonzero(new_run)
+    last = np.append(first[1:] - 1, len(starts) - 1)
+    return list(zip(starts[first].tolist(), frontier[last].tolist()))
+
+
+def concat_diffs(diffs: Sequence[Diff]) -> Diff:
+    """Concatenate several diffs into one (runs kept in input order).
+
+    Intended for *disjoint* diffs (checked by the caller via
+    :func:`merge_runs`); with overlaps, later runs win under
+    :func:`apply_diff`'s scatter semantics.
+    """
+    nonempty = [d for d in diffs if len(d.offsets)]
+    if not nonempty:
+        return _EMPTY_DIFF
+    if len(nonempty) == 1:
+        return nonempty[0]
+    return Diff.from_arrays(
+        np.concatenate([d.offsets for d in nonempty]),
+        np.concatenate([d.lengths for d in nonempty]),
+        b"".join(d.payload for d in nonempty),
+    )

@@ -14,6 +14,8 @@ from __future__ import annotations
 from bisect import bisect_left, bisect_right, insort
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
+import numpy as np
+
 from repro.dsm.messages import WriteNotice
 from repro.dsm.pages import PageId
 from repro.dsm.vclock import VClock
@@ -65,6 +67,19 @@ class NoticeTable:
         time ``high`` must send to an acquirer at time ``low``.
         """
         out: List[WriteNotice] = []
+        if self.n >= VClock.ARRAY_WIDTH:
+            # wide clusters: find the (typically few) creators whose range
+            # is non-empty in one vectorized compare instead of an O(n)
+            # Python scan per grant
+            la, ha = low.as_array(), high.as_array()
+            for c in np.flatnonzero(ha > la).tolist():
+                lo, hi = int(la[c]), int(ha[c])
+                ivs = self._intervals[c]
+                start = bisect_right(ivs, lo)
+                end = bisect_right(ivs, hi)
+                for k in range(start, end):
+                    out.extend(self._by_interval[c][ivs[k]])
+            return out
         for c in range(self.n):
             lo, hi = low[c], high[c]
             if hi <= lo:

@@ -894,12 +894,30 @@ class DsmProcess:
             self.cpu.costs.message_handler * self.n
             + len(done.notices) * 0.5e-6
         )
+        # per-proc missing-notice filter: an O(procs × notices) scan. At
+        # wide cluster sizes the scan runs vectorized (same selection,
+        # same order); small clusters keep the plain loop.
+        notices = done.notices
+        vectorize = self.n >= VClock.ARRAY_WIDTH and notices
+        if vectorize:
+            wn_creator = np.fromiter(
+                (wn.creator for wn in notices), np.int64, len(notices)
+            )
+            wn_interval = np.fromiter(
+                (wn.interval for wn in notices), np.int64, len(notices)
+            )
         for proc, vt in done.arrived.items():
-            missing = [
-                wn
-                for wn in done.notices
-                if wn.creator != proc and wn.interval > vt[wn.creator]
-            ]
+            if vectorize:
+                keep = (wn_creator != proc) & (
+                    wn_interval > vt.as_array()[wn_creator]
+                )
+                missing = [notices[k] for k in np.flatnonzero(keep).tolist()]
+            else:
+                missing = [
+                    wn
+                    for wn in notices
+                    if wn.creator != proc and wn.interval > vt[wn.creator]
+                ]
             release = BarrierRelease(
                 episode=done.episode, global_vt=global_vt, notices=missing
             )

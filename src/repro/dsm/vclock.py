@@ -3,9 +3,9 @@
 A process's *local logical time* is its interval counter; the vector
 timestamp ``vt`` of process ``i`` satisfies ``vt[i] = `` current interval
 of ``i`` and ``vt[j] = `` the most recent interval of ``j`` whose effects
-``i`` has seen (§3). Timestamps are immutable tuples: every mutation
-returns a new value, which eliminates aliasing bugs between protocol
-state, logs and checkpoints.
+``i`` has seen (§3). Timestamps are immutable: every mutation returns a
+new value, which eliminates aliasing bugs between protocol state, logs
+and checkpoints.
 
 Fast path
 ---------
@@ -18,34 +18,84 @@ existing operand whenever it already equals the result (so repeated
 joins against a dominated clock allocate nothing and enable ``is``
 short-circuits downstream). The public constructor keeps full
 validation for values that cross an API boundary.
+
+Scaling
+-------
+At the paper's widths (≤ 8) a Python tuple beats any array: per-call
+NumPy dispatch overhead dwarfs the O(n) loop. Past
+:data:`VClock.ARRAY_WIDTH` components the balance flips — every lattice
+operation becomes O(n) Python-level work on the tuple path — so wide
+clocks store a read-only ``int64`` array and run ``join``/``meet``/
+``leq`` (and the :func:`vmin`/:func:`vmax` folds) vectorized, checking
+operand dominance first so the dominated-join case allocates nothing.
+Either representation materializes the other lazily: the component tuple
+``v`` (canonical for hashing, equality and iteration at every width) is
+built from the array only when something actually asks for it, so chains
+of wide lattice ops never pay O(n) Python-object churn per step. Callers
+never see which representation is live.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Tuple
+from typing import Dict, Iterable, Optional, Tuple
 
-__all__ = ["VClock"]
+import numpy as np
+
+__all__ = ["VClock", "vmin", "vmax"]
+
+#: width at which lattice ops switch from tuple loops to NumPy (module
+#: alias of :attr:`VClock.ARRAY_WIDTH` — globals resolve faster than
+#: attributes on the per-message hot path)
+_ARRAY_WIDTH = 16
 
 
 class VClock:
     """Immutable vector timestamp over ``n`` processes."""
 
-    __slots__ = ("v",)
+    __slots__ = ("_t", "_a", "_n")
+
+    #: width at which lattice ops switch from tuple loops to NumPy
+    ARRAY_WIDTH = _ARRAY_WIDTH
 
     #: interned zero clocks, keyed by vector length
     _zero_cache: Dict[int, "VClock"] = {}
 
     def __init__(self, v: Iterable[int]):
-        self.v: Tuple[int, ...] = tuple(int(x) for x in v)
-        if any(x < 0 for x in self.v):
-            raise ValueError(f"negative component in {self.v}")
+        t = tuple(int(x) for x in v)
+        if any(x < 0 for x in t):
+            raise ValueError(f"negative component in {t}")
+        self._t: Optional[Tuple[int, ...]] = t
+        self._a: Optional[np.ndarray] = None
+        self._n = len(t)
 
     @classmethod
     def _make(cls, v: Tuple[int, ...]) -> "VClock":
         """Wrap an already-validated component tuple without checks."""
         self = object.__new__(cls)
-        self.v = v
+        self._t = v
+        self._a = None
+        self._n = len(v)
         return self
+
+    @classmethod
+    def _make_arr(cls, a: np.ndarray) -> "VClock":
+        """Wrap an already-validated int64 component array without checks."""
+        self = object.__new__(cls)
+        a.setflags(write=False)
+        self._t = None
+        self._a = a
+        self._n = len(a)
+        return self
+
+    @classmethod
+    def from_array(cls, a: np.ndarray) -> "VClock":
+        """Validating constructor from an integer array (copies)."""
+        arr = np.array(a, dtype=np.int64)
+        if arr.ndim != 1:
+            raise ValueError(f"expected 1-d components, got shape {arr.shape}")
+        if arr.size and int(arr.min()) < 0:
+            raise ValueError("negative component")
+        return cls._make_arr(arr)
 
     @classmethod
     def zero(cls, n: int) -> "VClock":
@@ -54,17 +104,46 @@ class VClock:
             z = cls._zero_cache[n] = cls._make((0,) * n)
         return z
 
+    @property
+    def v(self) -> Tuple[int, ...]:
+        """Component tuple (canonical; materialized from the array lazily)."""
+        t = self._t
+        if t is None:
+            t = self._t = tuple(self._a.tolist())
+        return t
+
+    def as_array(self) -> np.ndarray:
+        """Read-only ``int64`` view of the components (cached)."""
+        a = self._a
+        if a is None:
+            a = np.array(self._t, dtype=np.int64)
+            a.setflags(write=False)
+            self._a = a
+        return a
+
     def __len__(self) -> int:
-        return len(self.v)
+        return self._n
 
     def __getitem__(self, i: int) -> int:
-        return self.v[i]
+        t = self._t
+        if t is not None:
+            return t[i]
+        return int(self._a[i])
 
     def __iter__(self):
         return iter(self.v)
 
     def __eq__(self, other: object) -> bool:
-        return isinstance(other, VClock) and self.v == other.v
+        if not isinstance(other, VClock):
+            return NotImplemented
+        if self is other:
+            return True
+        if self._n != other._n:
+            return False
+        a, b = self._a, other._a
+        if a is not None and b is not None:
+            return bool((a == b).all())
+        return self.v == other.v
 
     def __hash__(self) -> int:
         return hash(self.v)
@@ -75,18 +154,26 @@ class VClock:
     # -- partial order ---------------------------------------------------
     def leq(self, other: "VClock") -> bool:
         """Componentwise ``self <= other`` (the happened-before order)."""
-        a, b = self.v, other.v
+        if self is other:
+            return True
+        if self._n != other._n:
+            self._check(other)
+        if self._n >= _ARRAY_WIDTH:
+            return bool((self.as_array() <= other.as_array()).all())
+        a, b = self._t, other._t
+        if a is None:
+            a = self.v
+        if b is None:
+            b = other.v
         if a is b:
             return True
-        if len(a) != len(b):
-            self._check(other)
         for x, y in zip(a, b):
             if x > y:
                 return False
         return True
 
     def lt(self, other: "VClock") -> bool:
-        return self.leq(other) and self.v != other.v
+        return self.leq(other) and not other.leq(self)
 
     def concurrent(self, other: "VClock") -> bool:
         return not self.leq(other) and not other.leq(self)
@@ -94,11 +181,25 @@ class VClock:
     # -- lattice operations ----------------------------------------------
     def join(self, other: "VClock") -> "VClock":
         """Componentwise max (least upper bound)."""
-        a, b = self.v, other.v
+        if self is other:
+            return self
+        if self._n != other._n:
+            self._check(other)
+        if self._n >= _ARRAY_WIDTH:
+            x, y = self.as_array(), other.as_array()
+            ge = x >= y
+            if ge.all():
+                return self
+            if not ge.any() or (y >= x).all():
+                return other
+            return VClock._make_arr(np.maximum(x, y))
+        a, b = self._t, other._t
+        if a is None:
+            a = self.v
+        if b is None:
+            b = other.v
         if a is b:
             return self
-        if len(a) != len(b):
-            self._check(other)
         out = tuple(map(max, a, b))
         if out == a:
             return self
@@ -108,11 +209,25 @@ class VClock:
 
     def meet(self, other: "VClock") -> "VClock":
         """Componentwise min (greatest lower bound)."""
-        a, b = self.v, other.v
+        if self is other:
+            return self
+        if self._n != other._n:
+            self._check(other)
+        if self._n >= _ARRAY_WIDTH:
+            x, y = self.as_array(), other.as_array()
+            le = x <= y
+            if le.all():
+                return self
+            if not le.any() or (y <= x).all():
+                return other
+            return VClock._make_arr(np.minimum(x, y))
+        a, b = self._t, other._t
+        if a is None:
+            a = self.v
+        if b is None:
+            b = other.v
         if a is b:
             return self
-        if len(a) != len(b):
-            self._check(other)
         out = tuple(map(min, a, b))
         if out == a:
             return self
@@ -123,49 +238,68 @@ class VClock:
     # -- updates -----------------------------------------------------------
     def bump(self, i: int, by: int = 1) -> "VClock":
         """New clock with component ``i`` advanced by ``by``."""
-        v = self.v
-        if not (0 <= i < len(v)):
+        n = self._n
+        if not (0 <= i < n):
             raise IndexError(i)
         if by < 0:
             raise ValueError("cannot decrease a component")
+        if n >= _ARRAY_WIDTH:
+            out = self.as_array().copy()
+            out[i] += by
+            return VClock._make_arr(out)
+        v = self._t
+        if v is None:
+            v = self.v
         return VClock._make(v[:i] + (v[i] + by,) + v[i + 1 :])
 
     def with_component(self, i: int, value: int) -> "VClock":
-        v = self.v
-        if not (0 <= i < len(v)):
+        n = self._n
+        if not (0 <= i < n):
             raise IndexError(i)
         if value < 0:
             raise ValueError(f"negative component: {value}")
+        if n >= _ARRAY_WIDTH:
+            a = self.as_array()
+            if int(a[i]) == value:
+                return self
+            out = a.copy()
+            out[i] = value
+            return VClock._make_arr(out)
+        v = self._t
+        if v is None:
+            v = self.v
         if v[i] == value:
             return self
         return VClock._make(v[:i] + (value,) + v[i + 1 :])
 
     def _check(self, other: "VClock") -> None:
-        if len(self.v) != len(other.v):
+        if self._n != other._n:
             raise ValueError(
-                f"vector length mismatch: {len(self.v)} vs {len(other.v)}"
+                f"vector length mismatch: {self._n} vs {other._n}"
             )
 
 
 def vmin(clocks: Iterable[VClock]) -> VClock:
     """Componentwise minimum over a non-empty iterable of clocks."""
-    it = iter(clocks)
-    try:
-        out = next(it)
-    except StopIteration:
-        raise ValueError("vmin of empty iterable") from None
-    for c in it:
+    cs = list(clocks)
+    if not cs:
+        raise ValueError("vmin of empty iterable")
+    out = cs[0]
+    if len(cs) > 2 and out._n >= _ARRAY_WIDTH:
+        return VClock._make_arr(np.minimum.reduce([c.as_array() for c in cs]))
+    for c in cs[1:]:
         out = out.meet(c)
     return out
 
 
 def vmax(clocks: Iterable[VClock]) -> VClock:
     """Componentwise maximum over a non-empty iterable of clocks."""
-    it = iter(clocks)
-    try:
-        out = next(it)
-    except StopIteration:
-        raise ValueError("vmax of empty iterable") from None
-    for c in it:
+    cs = list(clocks)
+    if not cs:
+        raise ValueError("vmax of empty iterable")
+    out = cs[0]
+    if len(cs) > 2 and out._n >= _ARRAY_WIDTH:
+        return VClock._make_arr(np.maximum.reduce([c.as_array() for c in cs]))
+    for c in cs[1:]:
         out = out.join(c)
     return out

@@ -33,9 +33,11 @@ __all__ = [
     "BenchResult",
     "run_app_bench",
     "run_suite",
+    "run_scale_suite",
     "render_report",
     "write_report",
     "check_report",
+    "check_scale_report",
 ]
 
 
@@ -123,13 +125,25 @@ def bench_engine_ready_queue(n_events: int) -> BenchResult:
     return BenchResult("engine.ready_queue", wall, events=eng.steps)
 
 
-def bench_vclock(n_ops: int) -> BenchResult:
-    """Lattice operations on 8-wide clocks (the protocol's common width)."""
+def bench_vclock(
+    n_ops: int, width: int = 8, name: str = "vclock.lattice"
+) -> BenchResult:
+    """Lattice operations at a given clock width.
+
+    Width 8 (the paper's common case, tuple path) keeps the historical
+    ``vclock.lattice`` entry; widths 64/256 exercise the array path the
+    scale-out runs live on.
+    """
     from repro.dsm.vclock import VClock
 
-    a = VClock((3, 1, 4, 1, 5, 9, 2, 6))
-    b = VClock((2, 7, 1, 8, 2, 8, 1, 8))
-    zero = VClock.zero(8)
+    if width == 8:
+        a = VClock((3, 1, 4, 1, 5, 9, 2, 6))
+        b = VClock((2, 7, 1, 8, 2, 8, 1, 8))
+    else:
+        a = VClock(tuple(int(x) for x in (np.arange(width) * 7919) % 97))
+        b = VClock(tuple(int(x) for x in (np.arange(width) * 6421) % 89))
+    zero = VClock.zero(width)
+    bump_i, set_i = width // 2 - 1, width - 3
     ops = 0
     t0 = time.perf_counter()
     for _ in range(n_ops // 8):
@@ -137,24 +151,43 @@ def bench_vclock(n_ops: int) -> BenchResult:
         c.leq(a)
         a.leq(c)
         c.meet(b)
-        c.bump(3)
-        c.with_component(5, 40)
+        c.bump(bump_i)
+        c.with_component(set_i, 40)
         zero.join(c)
         c.join(c)
         ops += 8
     wall = time.perf_counter() - t0
-    return BenchResult("vclock.lattice", wall, ops=ops)
+    return BenchResult(name, wall, ops=ops)
 
 
-def bench_diff(n_ops: int) -> BenchResult:
-    """compute_diff/apply_diff plus the size accounting of the log layer."""
+#: name -> changed bytes of a 4096-byte page (None = every byte)
+_DIFF_SCENARIOS: Dict[str, Optional[int]] = {
+    "diff.roundtrip": 256,  # historical entry: moderately sparse
+    "diff.sparse": 16,
+    "diff.dense": 1024,
+    "diff.fullpage": None,
+}
+
+
+def bench_diff(n_ops: int, name: str = "diff.roundtrip") -> BenchResult:
+    """compute_diff/apply_diff plus the size accounting of the log layer.
+
+    Scenarios vary the write density of the dirtied page: scattered
+    single bytes (worst run count per payload byte), a moderately sparse
+    page (the historical ``diff.roundtrip`` entry), a dense page, and a
+    fully rewritten page (single run, pure memcpy).
+    """
     from repro.dsm.diff import apply_diff, compute_diff
 
+    changed = _DIFF_SCENARIOS[name]
     rng = np.random.default_rng(12345)
     page = rng.integers(0, 255, size=4096, dtype=np.uint8)
     twin = page.copy()
-    idx = rng.choice(4096, size=256, replace=False)
-    page[idx] ^= 0xFF
+    if changed is None:
+        page = (page + 1) % 255  # every byte differs
+    else:
+        idx = rng.choice(4096, size=changed, replace=False)
+        page[idx] ^= 0xFF
     target = np.zeros(4096, dtype=np.uint8)
     ops = 0
     t0 = time.perf_counter()
@@ -164,7 +197,7 @@ def bench_diff(n_ops: int) -> BenchResult:
         apply_diff(target, d)
         ops += 2
     wall = time.perf_counter() - t0
-    return BenchResult("diff.roundtrip", wall, ops=ops)
+    return BenchResult(name, wall, ops=ops)
 
 
 # ---------------------------------------------------------------------------
@@ -175,6 +208,10 @@ def _make_app(app: str, **cfg: Any) -> Any:
         from repro.apps.counter import CounterApp, CounterConfig
 
         return CounterApp(CounterConfig(**cfg))
+    if app == "kvstore":
+        from repro.apps.kvstore import KvStoreApp, KvStoreConfig
+
+        return KvStoreApp(KvStoreConfig(**cfg))
     if app == "lu":
         from repro.apps.lu import LuApp, LuConfig
 
@@ -255,11 +292,17 @@ SMOKE_APP_SUITE: List[Tuple[str, str, int, bool, Dict[str, Any]]] = [
 def run_suite(smoke: bool = False, profile: bool = False) -> Dict[str, Any]:
     """Run the full micro + app suite; returns the structured report."""
     micro_budget = 20_000 if smoke else 100_000
+    diff_budget = 2_000 if smoke else 10_000
     results: List[BenchResult] = [
         bench_engine_timers(micro_budget),
         bench_engine_ready_queue(micro_budget),
         bench_vclock(micro_budget * 2),
-        bench_diff(2_000 if smoke else 10_000),
+        bench_vclock(micro_budget, width=64, name="vclock.lattice.w64"),
+        bench_vclock(micro_budget, width=256, name="vclock.lattice.w256"),
+        bench_diff(diff_budget),
+        bench_diff(diff_budget, name="diff.sparse"),
+        bench_diff(diff_budget, name="diff.dense"),
+        bench_diff(diff_budget, name="diff.fullpage"),
     ]
     apps = SMOKE_APP_SUITE if smoke else APP_SUITE
     for bench_name, app, procs, ft, cfg in apps:
@@ -289,6 +332,134 @@ def run_suite(smoke: bool = False, profile: bool = False) -> Dict[str, Any]:
 
 
 # ---------------------------------------------------------------------------
+# scale-out suite
+# ---------------------------------------------------------------------------
+#: node counts of the scaling curve (``--suite scale``)
+SCALE_NODE_COUNTS: List[int] = [8, 64, 128, 256]
+SMOKE_SCALE_NODE_COUNTS: List[int] = [8, 64]
+SCALE_APPS: List[str] = ["counter", "kvstore"]
+
+
+def _scale_cfg(app: str, procs: int) -> Dict[str, Any]:
+    """Weak-scaling configs: per-process work stays constant as N grows."""
+    if app == "counter":
+        return {"steps": 3, "n_elements": 16 * procs}
+    if app == "kvstore":
+        return {
+            "steps": 2,
+            "n_keys": 8 * procs,
+            "n_stripes": min(procs, 64),
+            "puts_per_step": 4,
+        }
+    raise ValueError(f"unknown scale app {app!r}")
+
+
+def run_scale_suite(smoke: bool = False, profile: bool = False) -> Dict[str, Any]:
+    """Events/sec and FT virtual-time overhead vs node count.
+
+    Each (app, N) point runs the same weak-scaled configuration with the
+    FT layer off and on: events/sec of the FT run is the throughput
+    curve, and the ratio of FT to base *virtual* time is the protocol
+    overhead the paper reports (how much slower the simulated execution
+    is with logging/checkpointing enabled).
+    """
+    node_counts = SMOKE_SCALE_NODE_COUNTS if smoke else SCALE_NODE_COUNTS
+    results: List[BenchResult] = []
+    curve: List[Dict[str, Any]] = []
+    for app in SCALE_APPS:
+        for procs in node_counts:
+            cfg = _scale_cfg(app, procs)
+            base = run_app_bench(
+                app, procs, False, name=f"{app}.base.{procs}", **cfg
+            )
+            ftr = run_app_bench(
+                app,
+                procs,
+                True,
+                name=f"{app}.ft.{procs}",
+                profile=profile and procs == node_counts[-1],
+                **cfg,
+            )
+            results += [base, ftr]
+            curve.append(
+                {
+                    "app": app,
+                    "procs": procs,
+                    "events_per_sec": round(ftr.events_per_sec, 3),
+                    "base_virtual_time": base.virtual_time,
+                    "ft_virtual_time": ftr.virtual_time,
+                    "ft_time_overhead": (
+                        round(ftr.virtual_time / base.virtual_time, 4)
+                        if base.virtual_time
+                        else None
+                    ),
+                }
+            )
+
+    total_events = sum(r.events for r in results)
+    total_wall = sum(r.wall_s for r in results)
+    return {
+        "schema": 1,
+        "suite": "scale-smoke" if smoke else "scale",
+        "host": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+        },
+        "node_counts": node_counts,
+        "events_per_sec": (
+            round(total_events / total_wall, 3) if total_wall else 0.0
+        ),
+        "wall_s": round(total_wall, 4),
+        "benches": [r.as_dict() for r in results],
+        "curve": curve,
+        "profiles": {
+            r.name: r.profile_text for r in results if r.profile_text
+        },
+    }
+
+
+def check_scale_report(
+    path: str, report: Dict[str, Any], budget: float = 0.30
+) -> Tuple[bool, str]:
+    """Scaling gate: per app, events/sec at the largest node count both
+    the baseline and this run measured must be within ``budget``."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            payload = json.load(fh)
+    except OSError as exc:
+        return False, f"no baseline at {path}: {exc}"
+    baseline = payload.get("after") or payload.get("before") or {}
+    base_points = {
+        (c["app"], c["procs"]): float(c["events_per_sec"] or 0.0)
+        for c in baseline.get("curve", [])
+    }
+    ok, msgs = True, []
+    for app in {c["app"] for c in report.get("curve", [])}:
+        comparable = [
+            c
+            for c in report["curve"]
+            if c["app"] == app and (app, c["procs"]) in base_points
+        ]
+        if not comparable:
+            ok = False
+            msgs.append(f"{app}: no comparable baseline point")
+            continue
+        point = max(comparable, key=lambda c: c["procs"])
+        base = base_points[(app, point["procs"])]
+        cur = float(point["events_per_sec"])
+        floor = base * (1.0 - budget)
+        msgs.append(
+            f"{app}@{point['procs']}: current={cur:,.0f} "
+            f"baseline={base:,.0f} floor={floor:,.0f}"
+        )
+        if not base or cur < floor:
+            ok = False
+    if not msgs:
+        return False, "report has no scaling curve"
+    return ok, "; ".join(msgs)
+
+
+# ---------------------------------------------------------------------------
 # reporting / regression gate
 # ---------------------------------------------------------------------------
 def _fmt_rate(v: float) -> str:
@@ -315,6 +486,22 @@ def render_report(report: Dict[str, Any]) -> str:
             b["total_msgs"] or "-",
         )
     out = table.render()
+    if report.get("curve"):
+        curve = Table(
+            "scaling curve (FT runs)",
+            ["app", "procs", "events/sec", "base vt (ms)", "ft vt (ms)", "ft overhead"],
+        )
+        for c in report["curve"]:
+            over = c.get("ft_time_overhead")
+            curve.add(
+                c["app"],
+                c["procs"],
+                _fmt_rate(c["events_per_sec"]),
+                f"{c['base_virtual_time'] * 1e3:.3f}",
+                f"{c['ft_virtual_time'] * 1e3:.3f}",
+                f"{over:.2f}x" if over else "-",
+            )
+        out += "\n\n" + curve.render()
     for name, text in report.get("profiles", {}).items():
         out += f"\n\nprofile: {name}\n{text}"
     return out

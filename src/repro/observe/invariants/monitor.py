@@ -68,6 +68,8 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
+import numpy as np
+
 from repro.dsm.vclock import VClock
 from repro.observe.invariants.recorder import FlightRecorder
 
@@ -122,9 +124,18 @@ class InvariantMonitor:
         self,
         cluster: Any,
         ring_size: int = 256,
-        scan_every: int = 1,
+        scan_every: Optional[int] = None,
         max_violations: int = 64,
     ) -> None:
+        if scan_every is None:
+            # default cadence: every delivery on paper-scale clusters;
+            # throttled on wide ones, where the scan is O(N) and
+            # deliveries are O(N^2) per barrier (probe-triggered and
+            # final scans still always run)
+            n_default = cluster.config.num_procs
+            scan_every = (
+                1 if n_default < VClock.ARRAY_WIDTH else max(1, n_default // 16)
+            )
         if scan_every < 1:
             raise ValueError("scan_every must be >= 1")
         self.cluster = cluster
@@ -156,6 +167,8 @@ class InvariantMonitor:
         self._deliveries = 0
         #: page -> home pid, built lazily (regions exist only after setup)
         self._homes: Optional[Dict[Any, int]] = None
+        #: home pid -> its pages (built with _homes)
+        self._pages_by_home: Dict[int, List[Any]] = {}
         self._install()
 
     # ==================================================================
@@ -200,7 +213,7 @@ class InvariantMonitor:
     # ==================================================================
     def _on_send(self, src: int, dst: int, payload: Any) -> None:
         self._chan.setdefault((src, dst), deque()).append(payload)
-        self._refresh_vclocks()
+        self._refresh_vclocks((src, dst))
         self._check_stamps(src, payload)
         eng = self.cluster.engine
         self.recorder.on_message("send", eng.now, eng.steps, src, dst, payload)
@@ -227,7 +240,7 @@ class InvariantMonitor:
             except ValueError:
                 pass
         self.checks["fifo"] += 1
-        self._refresh_vclocks()
+        self._refresh_vclocks((src, dst))
         self._check_stamps(src, payload)
         self._deliveries += 1
         if self._deliveries % self.scan_every == 0:
@@ -287,10 +300,19 @@ class InvariantMonitor:
     # ==================================================================
     # invariant 3 — vector clocks
     # ==================================================================
-    def _refresh_vclocks(self) -> None:
+    def _refresh_vclocks(self, pids: Optional[Tuple[int, int]] = None) -> None:
         hwm = self._hwm
         last = self._last_vt
-        for host in self.cluster.hosts:
+        hosts = self.cluster.hosts
+        # Wide clusters refresh only the endpoints of the triggering
+        # message: a vt component can reach a stamp only through a send
+        # by its owner, and that send refreshes the owner first, so the
+        # high-water marks stay exact. (Regression detection then checks
+        # each host at its own next send/delivery instead of at every
+        # message — the full sweep still runs in every structural scan.)
+        if pids is not None and len(hosts) >= VClock.ARRAY_WIDTH:
+            hosts = [hosts[p] for p in dict.fromkeys(pids)]
+        for host in hosts:
             proto = host.proto
             if proto is None:
                 continue
@@ -327,6 +349,10 @@ class InvariantMonitor:
     def _check_stamp(self, origin: int, mname: str, attr: str,
                      t: VClock) -> None:
         hwm = self._hwm
+        if len(t) >= VClock.ARRAY_WIDTH and not bool(
+            (t.as_array() > np.asarray(hwm)).any()
+        ):
+            return  # vectorized screen; the loop below only names the culprit
         for j, c in enumerate(t.v):
             if c > hwm[j]:
                 self._violate(
@@ -498,25 +524,40 @@ class InvariantMonitor:
 
     def _home_of(self, page: Any) -> int:
         if self._homes is None:
-            self._homes = {
-                p: self.cluster.regions.home_of(p)
-                for p in self.cluster.regions.all_page_ids()
-            }
+            self._pages_homed_at(-1)  # builds both lazy maps
         return self._homes[page]
 
     def _pages_homed_at(self, pid: int) -> List[Any]:
-        if self._homes is None:  # build the map lazily
+        if self._homes is None:  # build the maps lazily
             self._homes = {
                 p: self.cluster.regions.home_of(p)
                 for p in self.cluster.regions.all_page_ids()
             }
-        return [p for p, h in self._homes.items() if h == pid]
+            self._pages_by_home = {}
+            for p, h in self._homes.items():
+                self._pages_by_home.setdefault(h, []).append(p)
+        return self._pages_by_home.get(pid, [])
 
     # ==================================================================
     # invariant 5 — structural recoverability
     # ==================================================================
     def _scan_structural(self) -> None:
         hosts = self.cluster.hosts
+        # Wide clusters: one componentwise min over every live vector
+        # time screens the per-(page, peer) Rule 3 loop — a copy version
+        # below the global min is below every peer's vt, so the O(pages
+        # x peers) leq loop runs only when the screen fails (and then
+        # emits exactly the violations the plain loop would).
+        vt_floor = None
+        if len(hosts) >= VClock.ARRAY_WIDTH:
+            self._refresh_vclocks()  # full monotonicity sweep (see above)
+            live_vts = [
+                h.proto.vt.as_array()
+                for h in hosts
+                if h.live and not h.recovering and h.proto is not None
+            ]
+            if live_vts:
+                vt_floor = np.minimum.reduce(live_vts)
         for host in hosts:
             mgr = host.ckpt_mgr
             if mgr is None:
@@ -548,6 +589,10 @@ class InvariantMonitor:
                 # (its current vt) dominates the oldest retained copy, so
                 # a usable starting copy exists for any single failure
                 p0 = copies[0]
+                if vt_floor is not None and bool(
+                    (p0.version.as_array() <= vt_floor).all()
+                ):
+                    continue
                 for peer in hosts:
                     if (peer.pid == pid or not peer.live
                             or peer.recovering or peer.proto is None):
@@ -609,14 +654,13 @@ class InvariantMonitor:
                 mgr.latest.tckp[i]
                 if mgr is not None and mgr.latest is not None else 0
             )
-            for g in range(ft.n):
-                if g == i:
+            for g, mine in enumerate(ft.logs.acq.entries):
+                # cheapest rejection first: most (i, g) pairs never
+                # exchanged a lock, and the pair loop is O(N^2) per scan
+                if not mine or g == i:
                     continue
                 peer = hosts[g]
                 if (peer.ft is None or not peer.live or peer.recovering):
-                    continue
-                mine = ft.logs.acq.entries[g]
-                if not mine:
                     continue
                 rel = peer.ft.logs.rel.entries[i]
                 theirs = {(e.lock_id, e.acq_t[g]) for e in rel}

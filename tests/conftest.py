@@ -7,6 +7,7 @@ import pytest
 from repro import DsmCluster, DsmConfig
 from repro.apps.barnes import BarnesApp, BarnesConfig
 from repro.apps.counter import CounterApp, CounterConfig
+from repro.apps.kvstore import KvStoreApp, KvStoreConfig
 from repro.apps.lu import LuApp, LuConfig
 from repro.apps.water_nsq import WaterNsqApp, WaterNsqConfig
 from repro.apps.water_spatial import WaterSpatialApp, WaterSpatialConfig
@@ -17,6 +18,10 @@ def make_app(name: str, **overrides):
     """Small, fast default instances of every workload."""
     if name == "counter":
         return CounterApp(CounterConfig(**{"steps": 3, "n_elements": 512, **overrides}))
+    if name == "kvstore":
+        return KvStoreApp(
+            KvStoreConfig(**{"steps": 2, "n_keys": 256, "n_stripes": 8, **overrides})
+        )
     if name == "water-nsq":
         return WaterNsqApp(
             WaterNsqConfig(**{"n_molecules": 64, "steps": 3, **overrides})
@@ -47,7 +52,7 @@ def make_cluster(
     )
 
 
-APP_NAMES = ["counter", "water-nsq", "water-spatial", "barnes", "lu"]
+APP_NAMES = ["counter", "kvstore", "water-nsq", "water-spatial", "barnes", "lu"]
 
 
 @pytest.fixture(params=APP_NAMES)

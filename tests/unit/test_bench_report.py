@@ -49,3 +49,65 @@ def test_check_report_rejects_bad_baseline(tmp_path):
     assert not ok and "no events_per_sec" in msg
     ok, msg = check_report(str(tmp_path / "missing.json"), {"events_per_sec": 1.0})
     assert not ok and "no baseline" in msg
+
+
+# -- scaling-curve gate --------------------------------------------------
+
+from repro.metrics.bench import _scale_cfg, check_scale_report
+
+
+def _curve_point(app, procs, eps):
+    return {"app": app, "procs": procs, "events_per_sec": eps}
+
+
+def _write_scale_baseline(path, points):
+    path.write_text(json.dumps({"after": {"curve": points}}))
+
+
+def test_check_scale_report_gates_largest_common_point(tmp_path):
+    path = tmp_path / "scale.json"
+    _write_scale_baseline(
+        path,
+        [_curve_point("counter", 64, 40000.0), _curve_point("counter", 256, 20000.0)],
+    )
+    report = {
+        "curve": [
+            _curve_point("counter", 64, 10.0),  # ignored: not the largest N
+            _curve_point("counter", 256, 15000.0),
+        ]
+    }
+    ok, msg = check_scale_report(str(path), report, budget=0.30)
+    assert ok and "counter@256" in msg
+    report["curve"][1]["events_per_sec"] = 13000.0  # below the 30% floor
+    ok, _ = check_scale_report(str(path), report, budget=0.30)
+    assert not ok
+
+
+def test_check_scale_report_smoke_subset_compares_common_points(tmp_path):
+    # a smoke run (node counts 8/64) must gate against the full baseline
+    path = tmp_path / "scale.json"
+    _write_scale_baseline(
+        path,
+        [_curve_point("kvstore", 64, 30000.0), _curve_point("kvstore", 256, 10000.0)],
+    )
+    report = {"curve": [_curve_point("kvstore", 64, 29000.0)]}
+    ok, msg = check_scale_report(str(path), report)
+    assert ok and "kvstore@64" in msg
+
+
+def test_check_scale_report_requires_comparable_points(tmp_path):
+    path = tmp_path / "scale.json"
+    _write_scale_baseline(path, [_curve_point("counter", 64, 1.0)])
+    ok, msg = check_scale_report(
+        str(path), {"curve": [_curve_point("kvstore", 64, 1.0)]}
+    )
+    assert not ok and "no comparable baseline point" in msg
+    ok, _ = check_scale_report(str(path), {"curve": []})
+    assert not ok
+
+
+def test_scale_cfgs_weak_scale_with_node_count():
+    for app in ("counter", "kvstore"):
+        small, large = _scale_cfg(app, 8), _scale_cfg(app, 256)
+        key = "n_elements" if app == "counter" else "n_keys"
+        assert large[key] == 32 * small[key]  # footprint grows with N

@@ -132,3 +132,58 @@ def test_llt_trim_after_recovery_mixed_saved_and_fresh_entries():
     assert dl.unsaved_bytes == f2.size_bytes
     assert dl.saved_bytes == 0
     assert dl.volatile_bytes == f2.size_bytes
+
+
+# -- incremental bounds vs full-rescan oracles --------------------------
+
+_learn_seq = st.lists(
+    st.tuples(
+        st.integers(0, N - 1),  # proc whose row advances
+        st.lists(st.integers(0, 20), min_size=N, max_size=N),
+        st.integers(0, 5),  # bar_ep
+    ),
+    max_size=30,
+)
+
+
+@given(_learn_seq)
+def test_incremental_bounds_match_rescan(seq):
+    t = TrimmingInfo(0, N)
+    for proc, vec, bar in seq:
+        t.learn_tckp(proc, VClock(vec), bar)
+        assert t.tmin() == t._rescan_tmin()
+        assert t.wn_keep_from() == t._rescan_wn_keep_from()
+        assert t.bar_keep_from() == t._rescan_bar_keep_from()
+
+
+def test_incremental_bounds_match_rescan_wide():
+    """Long randomized learn sequence at a scale-out width (array path)."""
+    import numpy as np
+
+    n = 48
+    rng = np.random.default_rng(20260808)
+    t = TrimmingInfo(3, n)
+    for step in range(400):
+        proc = int(rng.integers(n))
+        vec = VClock(tuple(int(x) for x in rng.integers(0, 60, n)))
+        t.learn_tckp(proc, vec, int(rng.integers(0, 9)))
+        if step % 7 == 0:
+            assert t.tmin() == t._rescan_tmin()
+            assert t.wn_keep_from() == t._rescan_wn_keep_from()
+            assert t.bar_keep_from() == t._rescan_bar_keep_from()
+    assert t.tmin() == t._rescan_tmin()
+    assert t.wn_keep_from() == t._rescan_wn_keep_from()
+    assert t.bar_keep_from() == t._rescan_bar_keep_from()
+
+
+def test_row_gen_tracks_changes_for_gossip_delta():
+    """row_gen stamps exactly the rows that changed, in gen order."""
+    t = TrimmingInfo(0, N)
+    assert t.gen == 0 and list(t.row_gen) == [0] * N
+    t.learn_tckp(1, vt(0, 5, 0, 0))
+    g1 = t.gen
+    assert g1 > 0 and t.row_gen[1] == g1
+    t.learn_tckp(1, vt(0, 3, 0, 0))  # dominated: no change
+    assert t.gen == g1
+    t.learn_tckp(2, vt(0, 0, 7, 0))
+    assert t.gen > g1 and t.row_gen[2] == t.gen and t.row_gen[1] == g1

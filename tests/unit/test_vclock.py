@@ -125,3 +125,78 @@ def test_sum_is_linear_extension(a, b):
     # the replay driver sorts diffs by it
     if a.lt(b):
         assert sum(a.v) < sum(b.v)
+
+
+# -- lattice laws across representation widths --------------------------
+#
+# Widths straddle VClock.ARRAY_WIDTH so both the tuple path and the
+# vectorized array path (and their interaction through lazy conversion)
+# are exercised by the same laws.
+
+LAW_WIDTHS = [2, 8, 64, 256]
+
+_wide_pair = st.sampled_from(LAW_WIDTHS).flatmap(
+    lambda w: st.tuples(
+        st.just(w),
+        st.lists(st.integers(0, 50), min_size=w, max_size=w),
+        st.lists(st.integers(0, 50), min_size=w, max_size=w),
+    )
+)
+
+
+@given(_wide_pair)
+def test_lattice_laws_at_all_widths(wab):
+    w, va, vb = wab
+    a, b = VClock(va), VClock(vb)
+    j, m = a.join(b), a.meet(b)
+    # join/meet match the componentwise reference at every width
+    assert j.v == tuple(map(max, va, vb))
+    assert m.v == tuple(map(min, va, vb))
+    # lub / glb laws
+    assert a.leq(j) and b.leq(j)
+    assert m.leq(a) and m.leq(b)
+    # commutativity and absorption
+    assert j == b.join(a) and m == b.meet(a)
+    assert a.join(m) == a and a.meet(j) == a
+    # leq agrees with the tuple reference
+    assert a.leq(b) == all(x <= y for x, y in zip(va, vb))
+    # zero is the bottom element
+    assert VClock.zero(w).leq(a)
+    assert VClock.zero(w).join(a) == a
+
+
+@given(_wide_pair)
+def test_array_and_tuple_representations_agree(wab):
+    import numpy as np
+
+    w, va, vb = wab
+    a_t = VClock(va)  # tuple-backed
+    a_a = VClock.from_array(np.array(va, dtype=np.int64))  # array-backed
+    b = VClock(vb)
+    assert a_t == a_a and hash(a_t) == hash(a_a)
+    assert a_a.v == tuple(va)
+    assert a_t.leq(b) == a_a.leq(b)
+    assert a_t.join(b) == a_a.join(b)
+    assert a_t.meet(b) == a_a.meet(b)
+    assert a_a.bump(w - 1) == a_t.bump(w - 1)
+    assert a_a.with_component(0, 7) == a_t.with_component(0, 7)
+    assert list(a_a.as_array()) == list(va)
+
+
+@given(_wide_pair)
+def test_vmin_vmax_match_folds_at_all_widths(wab):
+    w, va, vb = wab
+    a, b, z = VClock(va), VClock(vb), VClock.zero(w)
+    assert vmax([a, b, z]) == a.join(b)
+    assert vmin([a, b, a]) == a.meet(b)
+
+
+def test_wide_operand_interning():
+    """Dominated join/meet return an operand (no allocation) on both paths."""
+    for w in LAW_WIDTHS:
+        lo = VClock((1,) * w)
+        hi = VClock((2,) * w)
+        assert hi.join(lo) is hi
+        assert lo.join(hi) is hi
+        assert lo.meet(hi) is lo
+        assert hi.meet(lo) is lo
