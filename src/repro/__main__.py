@@ -8,6 +8,7 @@ Examples::
     python -m repro tables --scale smoke
     python -m repro bench --smoke --check
     python -m repro crashsweep counter --every 40 --classes lock,ckpt_write
+    python -m repro crashsweep counter --faults 2      # k=2, replication on
     python -m repro observe counter --procs 4 --interval 1e-3
     python -m repro trace counter --procs 4 --crash 2@0.5
     python -m repro monitor counter --procs 4 --crash 2@0.5
@@ -94,6 +95,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--steps", type=int, default=None, help="application steps")
     p.add_argument("--size", type=int, default=None, help="problem size (app-specific)")
     p.add_argument("--ft", action="store_true", help="enable fault tolerance")
+    p.add_argument(
+        "--replicate", action="store_true",
+        help="with --ft: buddy-replicate checkpoints + logs into the "
+        "ring successor's memory (survives overlapping failures)",
+    )
     p.add_argument("--l", type=float, default=0.1, help="OF policy L fraction")
     p.add_argument(
         "--coordinated",
@@ -177,6 +183,10 @@ def make_cluster(args: argparse.Namespace) -> DsmCluster:
         return coordinated_cluster(
             DsmConfig(num_procs=args.procs), l_fraction=args.l, net_config=net
         )
+    if getattr(args, "replicate", False):
+        from repro.core.ftmanager import FtConfig
+
+        kwargs["ft_config"] = FtConfig(replicate=True)
     return DsmCluster(
         ft=True,
         policy_factory=lambda pid, fp: LogOverflowPolicy(args.l, fp),
@@ -201,9 +211,24 @@ def build_crashsweep_parser() -> argparse.ArgumentParser:
         help="crash after every Nth traced protocol event (default 25)",
     )
     p.add_argument(
-        "--classes", default=",".join(sweep_classes()),
-        help="comma-separated crash-point classes "
-        f"(default: {','.join(sweep_classes())})",
+        "--classes", default=None,
+        help="comma-separated crash-point classes (default: all classes "
+        f"the --faults budget allows, out of {','.join(sweep_classes())})",
+    )
+    p.add_argument(
+        "--faults", type=int, default=1, choices=(1, 2),
+        help="fault budget: 2 adds the double/repl classes (second "
+        "crashes inside recovery windows, crashes mid-replication); "
+        "implies --replicate unless --no-replicate",
+    )
+    p.add_argument(
+        "--replicate", action="store_true",
+        help="enable the buddy-replication tier (FtConfig.replicate)",
+    )
+    p.add_argument(
+        "--no-replicate", action="store_true",
+        help="keep replication off even with --faults 2 (overlap points "
+        "then degrade explicitly instead of recovering)",
     )
     p.add_argument(
         "--out", default=None, metavar="PATH",
@@ -226,14 +251,17 @@ def run_crashsweep(argv: list) -> int:
     from repro.faultinject import CrashSweep
 
     args = build_crashsweep_parser().parse_args(argv)
+    replicate = (args.replicate or args.faults >= 2) and not args.no_replicate
     ns = argparse.Namespace(
-        procs=args.procs, ft=True, coordinated=False, wan=None, l=args.l
+        procs=args.procs, ft=True, coordinated=False, wan=None, l=args.l,
+        replicate=replicate,
     )
     sweep = CrashSweep(
         cluster_factory=lambda: make_cluster(ns),
         app_factory=lambda: make_app(args.app, args.steps, args.size),
         every=args.every,
-        classes=tuple(args.classes.split(",")),
+        classes=tuple(args.classes.split(",")) if args.classes else None,
+        faults=args.faults,
     )
 
     t0 = time.time()
@@ -256,16 +284,22 @@ def run_crashsweep(argv: list) -> int:
     for note in summary.notes:
         print(f"note: {note}")
 
-    out = args.out or f"benchmarks/SWEEP_{args.app}.json"
-    payload = summary.to_dict(app=args.app, procs=args.procs)
+    suffix = "_k2" if args.faults >= 2 else ""
+    out = args.out or f"benchmarks/SWEEP_{args.app}{suffix}.json"
+    payload = summary.to_dict(
+        app=args.app, procs=args.procs, replicate=replicate
+    )
     with open(out, "w") as fh:
         json.dump(payload, fh, indent=2, sort_keys=True)
         fh.write("\n")
     print(f"written to {out}")
     if not summary.ok:
+        from repro.faultinject.campaign import DEGRADABLE_CLASSES
+
         for r in summary.results:
             if r.outcome == "failed" or (
-                r.outcome == "degraded" and r.point.cls != "recovery"
+                r.outcome == "degraded"
+                and r.point.cls not in DEGRADABLE_CLASSES
             ):
                 print(
                     f"FAIL {r.point.cls} p{r.point.victim}@{r.point.step}: "
@@ -293,6 +327,11 @@ def build_observe_parser() -> argparse.ArgumentParser:
         help="observe the base protocol instead of the fault-tolerant one",
     )
     p.add_argument(
+        "--replicate", action="store_true",
+        help="enable the buddy-replication tier and report the "
+        "ft.replica_bytes / ft.replica_lag series",
+    )
+    p.add_argument(
         "--interval", type=float, default=1e-3, metavar="SECONDS",
         help="virtual-time sampling cadence (default 1e-3); 0 disables the "
         "ticker, leaving barrier-episode sampling only",
@@ -315,7 +354,8 @@ def run_observe(argv: list) -> int:
 
     args = build_observe_parser().parse_args(argv)
     ns = argparse.Namespace(
-        procs=args.procs, ft=not args.no_ft, coordinated=False, wan=None, l=args.l
+        procs=args.procs, ft=not args.no_ft, coordinated=False, wan=None,
+        l=args.l, replicate=args.replicate and not args.no_ft,
     )
     cluster = make_cluster(ns)
     observer = ClusterObserver(
@@ -335,6 +375,7 @@ def run_observe(argv: list) -> int:
             "app": args.app,
             "procs": args.procs,
             "ft": not args.no_ft,
+            "replicate": ns.replicate,
             "l_fraction": args.l,
             "interval_s": args.interval,
             "host_time_s": round(host_s, 3),
@@ -381,6 +422,19 @@ def build_trace_parser() -> argparse.ArgumentParser:
         "requires fault tolerance",
     )
     p.add_argument(
+        "--crash2",
+        metavar="PID@FRAC",
+        default=None,
+        help="schedule a second fail-stop (overlapping-failure traces; "
+        "pair with --replicate to see the buddy fetch on the recovery "
+        "critical path)",
+    )
+    p.add_argument(
+        "--replicate", action="store_true",
+        help="enable the buddy-replication tier (adds repl spans: "
+        "checkpoint begin→commit transfers, recovery buddy fetches)",
+    )
+    p.add_argument(
         "--out", default=None, metavar="PATH",
         help="trace JSON path (default benchmarks/results/TRACE_<app>.json)",
     )
@@ -409,25 +463,31 @@ def run_trace(argv: list) -> int:
     )
 
     args = build_trace_parser().parse_args(argv)
-    if args.crash and args.no_ft:
+    if (args.crash or args.crash2) and args.no_ft:
         print("--crash requires fault tolerance (drop --no-ft)", file=sys.stderr)
         return 2
+    if args.crash2 and not args.crash:
+        print("--crash2 requires --crash", file=sys.stderr)
+        return 2
     ns = argparse.Namespace(
-        procs=args.procs, ft=not args.no_ft, coordinated=False, wan=None, l=args.l
+        procs=args.procs, ft=not args.no_ft, coordinated=False, wan=None,
+        l=args.l, replicate=args.replicate and not args.no_ft,
     )
 
     # failure-free pass to learn the runtime if a crash is requested
-    crash_spec = None
+    crash_specs = []
     if args.crash:
-        pid_s, frac_s = args.crash.split("@")
         golden = make_cluster(ns)
         t_free = golden.run(make_app(args.app, args.steps, args.size)).wall_time
-        crash_spec = (int(pid_s), float(frac_s) * t_free)
+        for spec in (args.crash, args.crash2):
+            if spec:
+                pid_s, frac_s = spec.split("@")
+                crash_specs.append((int(pid_s), float(frac_s) * t_free))
 
     cluster = make_cluster(ns)
     tracer = SpanTracer(cluster)
-    if crash_spec:
-        cluster.schedule_crash(*crash_spec)
+    for spec in crash_specs:
+        cluster.schedule_crash(*spec)
 
     t0 = time.time()
     result = cluster.run(make_app(args.app, args.steps, args.size))
@@ -459,7 +519,9 @@ def run_trace(argv: list) -> int:
             "app": args.app,
             "procs": args.procs,
             "ft": not args.no_ft,
+            "replicate": ns.replicate,
             "crash": args.crash,
+            "crash2": args.crash2,
             "wall_time_s": result.wall_time,
         },
     )

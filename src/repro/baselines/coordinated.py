@@ -200,7 +200,7 @@ class CoordinatedFt(FtManager):
         if isinstance(msg, CoordCommit):
             self._apply_commit(msg.round_id)
             return True
-        return False
+        return super().handle_ft_message(src, msg)
 
     def record_if_channel_state(self, src: int, msg: Message) -> None:
         if src in self.awaiting_markers:

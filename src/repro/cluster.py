@@ -31,7 +31,7 @@ from repro.dsm.protocol import DsmProcess
 from repro.sim.engine import Engine, SimProcess
 from repro.sim.network import Network, NetworkConfig, TrafficStats
 from repro.sim.node import CpuModel, TimeStats
-from repro.sim.storage import CheckpointStore, Disk, DiskConfig
+from repro.sim.storage import CheckpointStore, Disk, DiskConfig, ReplicaStore
 
 __all__ = ["DsmCluster", "ProcHost", "RunResult", "PolicyFactory"]
 
@@ -46,6 +46,9 @@ class ProcHost:
         self.pid = pid
         self.disk = Disk(cluster.disk_config)
         self.store = CheckpointStore(pid)  # stable storage: survives crashes
+        #: volatile replica tier: peers' checkpoint/log mirrors held in
+        #: this node's memory — wiped by a crash *of this node*
+        self.replica_store = ReplicaStore(pid)
         self.ckpt_mgr: Optional[CheckpointManager] = None
         self.proto: Optional[DsmProcess] = None
         self.ft: Optional[FtManager] = None
@@ -257,7 +260,50 @@ class DsmCluster:
         host.ft.app_state_fn = lambda h=host: h.state
         if self.observer is not None:
             host.ft.obs = self.observer
+        if self.replication:
+            from repro.core.replica import Replicator
+
+            host.ft.repl = Replicator(host.ft, host)
         host.responder = RecoveryResponder(host)
+
+    @property
+    def replication(self) -> bool:
+        """True when the buddy-replication tier is active."""
+        return (
+            self.ft_enabled
+            and self.ft_config.replicate
+            and self.config.num_procs > 1
+        )
+
+    def _recompute_buddies(self) -> None:
+        """Re-evaluate every live node's replication buddy (ring order).
+
+        Called at start, at failure-detection time (survivors re-buddy
+        away from the dead node), and when a recovered node goes live
+        (it re-enters the ring and re-syncs its own replica).
+        """
+        for host in self.hosts:
+            if host.ft is not None and host.ft.repl is not None:
+                host.ft.repl.recompute()
+
+    def replica_holder(
+        self, lost: int, exclude: Tuple[int, ...] = ()
+    ) -> Optional[int]:
+        """Live node holding a replica of ``lost``'s FT state, if any.
+
+        Ring order starting at ``lost``'s designated buddy, so the
+        freshest copy is tried first; ``exclude`` lists holders already
+        tried (stale gen / torn record).
+        """
+        n = self.config.num_procs
+        for k in range(1, n):
+            pid = (lost + k) % n
+            host = self.hosts[pid]
+            if pid in exclude or not host.live:
+                continue
+            if host.replica_store.has(lost):
+                return pid
+        return None
 
     def start(self) -> None:
         self._started = True
@@ -266,6 +312,8 @@ class DsmCluster:
             host.simproc = self.engine.spawn(
                 self._app_main(host), name=f"app{host.pid}"
             )
+        if self.replication:
+            self._recompute_buddies()
 
     def _app_main(self, host: ProcHost) -> Iterator[Any]:
         yield from self.app.run(host.proto, host.state)
@@ -360,6 +408,13 @@ class DsmCluster:
         host.ft = None
         host.responder = None
         host.state = {}
+        if self.replication:
+            # the replicas this node held for peers die with its memory;
+            # survivors re-buddy once the failure is detected
+            host.replica_store.clear()
+            self.engine.schedule(
+                self.config.failure_detection_delay, self._recompute_buddies
+            )
         if self.recovery_style == "rollback":
             self.engine.schedule(
                 self.config.failure_detection_delay, self._global_rollback

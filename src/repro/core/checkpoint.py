@@ -197,7 +197,7 @@ class CheckpointManager:
     # ------------------------------------------------------------------
     # Rule 3.1 — checkpoint garbage collection
     # ------------------------------------------------------------------
-    def collect(self, tmin: VClock) -> int:
+    def collect(self, tmin: VClock, seqno_ceiling: Optional[int] = None) -> int:
         """Run CGC against ``Tmin``; returns page bytes discarded.
 
         For every page, the *maximal starting copy* is the newest copy
@@ -205,12 +205,22 @@ class CheckpointManager:
         checkpoint records whose page copies are all gone are dropped too
         (their logs/state can no longer be the restart point of this
         process, which always restarts from ``latest``).
+
+        ``seqno_ceiling`` is the buddy-replication ack gate: when set,
+        the chosen maximal starting copy must additionally come from a
+        checkpoint the buddy has acked (``ckpt_seqno <= ceiling``), so
+        every copy CGC drops is superseded by one that is both
+        disk-stable *and* buddy-held. The virtual checkpoint 0 (seqno 0,
+        deterministically reconstructible seed contents) always
+        qualifies; a ceiling of -1 (nothing acked yet) collects nothing.
         """
         freed = 0
         for page, copies in self.page_copies.items():
             max_idx = 0
             for i, copy in enumerate(copies):
-                if copy.version.leq(tmin):
+                if copy.version.leq(tmin) and (
+                    seqno_ceiling is None or copy.ckpt_seqno <= seqno_ceiling
+                ):
                     max_idx = i
             if max_idx > 0:
                 for dropped in copies[:max_idx]:

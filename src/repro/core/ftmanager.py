@@ -37,9 +37,10 @@ import numpy as np
 from repro.core.checkpoint import Checkpoint, CheckpointManager
 from repro.core.logs import VolatileLogs
 from repro.core.policies import CheckpointPolicy
+from repro.core.replica import replica_apply
 from repro.core.trimming import TrimmingInfo
 from repro.dsm.diff import Diff
-from repro.dsm.messages import Piggyback
+from repro.dsm.messages import AcqAck, Piggyback, ReplicaAck, ReplicaUpdate
 from repro.dsm.pages import PageId
 from repro.dsm.protocol import DsmProcess, FtHooks
 from repro.dsm.vclock import VClock
@@ -62,6 +63,11 @@ class FtConfig:
     #: also save own write notices with each checkpoint (tiny; required
     #: for correctness, switchable only for ablation)
     save_wn_log: bool = True
+    #: buddy-replication tier: mirror committed checkpoints + sender-log
+    #: segments into the ring buddy's volatile memory, so recovery can
+    #: proceed from the replica when overlapping failures would otherwise
+    #: degrade (ROADMAP 3; see core/replica.py)
+    replicate: bool = False
 
 
 @dataclass
@@ -113,6 +119,12 @@ class FtManager(FtHooks):
         #: per-row change stamps in ``trim.row_gen``, the delta encoder
         #: ships exactly the rows that changed since (no per-proc scan)
         self._sent_gen: Dict[int, int] = {}
+        #: trim.gen as of the last LLT pass: the per-acquirer Rule-2 /
+        #: mirror trims visit only rows changed since (row_gen delta)
+        self._llt_gen = 0
+        #: buddy replicator (attached by the cluster when
+        #: ``config.replicate``; None = replication off)
+        self.repl: Any = None
         #: a policy asked for a checkpoint; taken at the next safe point
         self.checkpoint_requested = False
         #: supplies the application's resumable private state
@@ -160,32 +172,81 @@ class FtManager(FtHooks):
         entry = self.logs.diff.append(page, diff, vt)
         cost = entry.size_bytes * self.proc.cpu.costs.log_append_per_byte
         self.stats.time_logging += cost
+        if self.repl is not None:
+            self.repl.op(("diff", page, diff, vt))
         yield from self.proc.cpu.charge(TimeBucket.LOG_CKPT, cost)
 
     def on_grant(self, lock_id: int, acquirer: int, acq_t: VClock) -> None:
         self.logs.rel.append(acquirer, lock_id, acq_t)
         self.stats.time_logging += 0.5e-6
         self.proc.cpu.accrue_handler(0.5e-6)
+        if self.repl is not None:
+            self.repl.op(("rel", acquirer, lock_id, acq_t))
 
     def on_acquire_done(self, lock_id: int, grantor: int, acq_t: VClock) -> None:
         self.logs.acq.append(grantor, lock_id, acq_t)
         self.stats.time_logging += 0.5e-6
+        if grantor != self.pid:
+            # confirm the actual acquire timestamp to the grantor, whose
+            # rel-entry holds a prediction (§4.2.1 / DESIGN.md §9)
+            self.proc._send(
+                grantor, AcqAck(lock_id=lock_id, acquirer=self.pid, acq_t=acq_t)
+            )
+        if self.repl is not None:
+            seq = self.proc._completed_seq.get(lock_id, 0)
+            self.repl.op(("acq", grantor, lock_id, acq_t, seq))
 
     def on_self_grant(self, lock_id: int, acq_t: VClock) -> None:
         self.logs.log_self_grant(lock_id, acq_t)
         self.stats.time_logging += 0.5e-6
+        if self.repl is not None:
+            seq = self.proc._completed_seq.get(lock_id, 0)
+            self.repl.op(("self", lock_id, acq_t, seq))
 
     def on_buddy_self_grant(self, grantor: int, lock_id: int, acq_t: VClock) -> None:
         self.buddy_selfgrants.setdefault(grantor, {}).setdefault(
             lock_id, []
         ).append(acq_t)
+        if self.repl is not None:
+            self.repl.op(("mself", grantor, lock_id, acq_t))
+
+    def on_mirror_self_grant(self, grantor: int, lock_id: int, acq_t: VClock) -> None:
+        # managed-lock mirror of a peer's self-grant (already appended to
+        # the manager state by the protocol); replicate for the buddy
+        if self.repl is not None:
+            self.repl.op(("mself", grantor, lock_id, acq_t))
+
+    def on_owner_observed(self, lock_id: int, owner: int) -> None:
+        # managed-lock owner pointer advanced: keep the buddy's mirror of
+        # managed_owners current so replica-served recoveries agree
+        if self.repl is not None:
+            self.repl.op(("owner", lock_id, owner))
 
     def on_barrier_done(self, episode: int, global_vt: VClock) -> None:
         self.logs.log_barrier(episode, global_vt)
         self.stats.time_logging += 0.5e-6
+        if self.repl is not None:
+            self.repl.op(("bar", episode, global_vt))
 
     def on_diff_received(self, page: PageId, writer: int, diff_vt: VClock) -> None:
         self.page_writers.setdefault(page, set()).add(writer)
+
+    def handle_ft_message(self, src: int, msg: Any) -> bool:
+        if isinstance(msg, ReplicaUpdate):
+            replica_apply(self.proc_host, src, msg)
+            return True
+        if isinstance(msg, ReplicaAck):
+            if self.repl is not None:
+                self.repl.on_ack(msg)
+            return True
+        if isinstance(msg, AcqAck):
+            fixed = self.logs.rel.confirm(src, msg.lock_id, msg.acq_t, self.pid)
+            self.stats.time_logging += 0.5e-6
+            self.proc.cpu.accrue_handler(0.5e-6)
+            if fixed and self.repl is not None:
+                self.repl.op(("rel_fix", src, msg.lock_id, msg.acq_t))
+            return True
+        return False
 
     # ==================================================================
     # FtHooks — checkpoint policy evaluation
@@ -297,6 +358,11 @@ class FtManager(FtHooks):
         # leaves a torn record that recovery detects and discards,
         # restarting from the previous stable checkpoint.
         page_bytes = self.ckpt_mgr.stage(ckpt, homed)
+        if self.repl is not None:
+            # replicate the new base into the buddy *before* the disk
+            # write: a crash during the write leaves both the disk record
+            # and the replica record torn (two-phase on both media)
+            self.repl.on_ckpt_begin(seqno, tckp, proc.barrier_episode, homed)
         new_log_bytes = self.logs.diff.unsaved_bytes
         total_write = page_bytes + new_log_bytes + len(state_blob)
         t0 = proc.engine.now
@@ -319,6 +385,8 @@ class FtManager(FtHooks):
 
         # -- CGC + advertisement -------------------------------------------
         self.trim.learn_tckp(self.pid, tckp, proc.barrier_episode)
+        if self.repl is not None:
+            self.repl.on_ckpt_commit(seqno)
         if self.config.cgc_enabled:
             self.run_cgc()
 
@@ -340,13 +408,19 @@ class FtManager(FtHooks):
             bound = self.trim.diff_bound(page)
             if bound > 0:
                 out["diff_bytes"] += self.logs.diff.trim_page(page, self.pid, bound)
-        # Rule 2
-        for j in range(self.n):
+        # Rule 2 — visit only acquirer rows whose checkpoint knowledge
+        # changed since the last pass (row_gen delta, same idiom as
+        # piggyback_for): an unchanged bound can drop nothing, because
+        # entries appended since then always exceed it (an acquire bumps
+        # the acquirer past its own last checkpoint cut)
+        trim = self.trim
+        changed = np.flatnonzero(trim.row_gen > self._llt_gen).tolist()
+        for j in changed:
             if j == self.pid:
                 continue
-            out["rel"] += self.logs.rel.trim(j, self.trim.rel_bound(j))
-        out["acq"] += self.logs.acq.trim(self.pid, self.trim.acq_bound())
-        out["self"] += self.logs.trim_self_grants(self.trim.acq_bound())
+            out["rel"] += self.logs.rel.trim(j, trim.rel_bound(j))
+        out["acq"] += self.logs.acq.trim(self.pid, trim.acq_bound())
+        out["self"] += self.logs.trim_self_grants(trim.acq_bound())
         # Rule 1
         out["wn"] += self.proc.notices.trim_creator_before(
             self.pid, self.trim.wn_keep_from()
@@ -355,16 +429,21 @@ class FtManager(FtHooks):
         out["bar"] += self.logs.trim_barriers(self.trim.bar_keep_from())
         if self.proc.barrier_mgr is not None:
             self.proc.barrier_mgr.trim_history(self.trim.bar_keep_from())
-        # manager-held self-grant mirrors of peers
+        # manager-held self-grant mirrors of peers (same delta argument:
+        # a mirror entry from j postdates j's checkpoint known then)
         for lock_id in self.proc.locks.managed_locks():
             mgr = self.proc.locks.manager(lock_id)
-            for j in range(self.n):
-                mgr.trim_self_grants(j, self.trim.tckp[j][j])
+            for j in changed:
+                mgr.trim_self_grants(j, trim.tckp[j][j])
         # buddy-held self-grant mirrors (Rule 2 analogue)
-        for grantor, locks in self.buddy_selfgrants.items():
-            bound = self.trim.tckp[grantor][grantor]
+        for grantor in changed:
+            locks = self.buddy_selfgrants.get(grantor)
+            if not locks:
+                continue
+            bound = trim.tckp[grantor][grantor]
             for lock_id, entries in locks.items():
                 locks[lock_id] = [t for t in entries if t[grantor] > bound]
+        self._llt_gen = trim.gen
         self.stats.rel_entries_trimmed += out["rel"] + out["acq"]
         self.stats.wn_trimmed += out["wn"]
         if self.obs is not None:
@@ -381,10 +460,19 @@ class FtManager(FtHooks):
     # ==================================================================
     # CGC (Rule 3.1) — §4.4
     # ==================================================================
+    def cgc_seqno_ceiling(self) -> Optional[int]:
+        """Buddy-ack gate for CGC: newest checkpoint seqno the buddy holds.
+
+        ``None`` when replication is off (no gate); -1 right after a
+        re-buddy (nothing acked yet — collect nothing newer than the
+        virtual checkpoint 0).
+        """
+        return self.repl.acked_seqno if self.repl is not None else None
+
     def run_cgc(self) -> int:
         """Collect past checkpoints; queue new p0.v advertisements."""
         tmin = self.trim.tmin()
-        freed = self.ckpt_mgr.collect(tmin)
+        freed = self.ckpt_mgr.collect(tmin, seqno_ceiling=self.cgc_seqno_ceiling())
         # after collection, advertise each page's maximal-starting-copy
         # version to its writers (they trim their diff logs with it)
         for page, copies in self.ckpt_mgr.page_copies.items():

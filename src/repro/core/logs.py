@@ -75,6 +75,28 @@ class RelLog:
     def restore_for(self, acquirer: int, entries: Iterable[RelEntry]) -> None:
         self.entries[acquirer] = list(entries)
 
+    def confirm(
+        self, acquirer: int, lock_id: int, actual_t: VClock, own_pid: int
+    ) -> bool:
+        """An AcqAck landed: replace the predicted timestamp with the
+        acquirer's actual one (§4.2.1 pair symmetry).
+
+        The grantor's own component is identical in the prediction and
+        the actual vt (both equal ``rel_vt[grantor]`` bumped nowhere), so
+        ``(lock_id, acq_t[grantor])`` identifies the grant. Returns False
+        when the entry was already trimmed under Rule 2 (the acquirer
+        checkpointed past it — nothing left to fix).
+        """
+        lst = self.entries[acquirer]
+        comp = actual_t[own_pid]
+        for i in range(len(lst) - 1, -1, -1):
+            e = lst[i]
+            if e.lock_id == lock_id and e.acq_t[own_pid] == comp:
+                if e.acq_t is not actual_t and e.acq_t != actual_t:
+                    lst[i] = RelEntry(lock_id, actual_t)
+                return True
+        return False
+
     def count(self) -> int:
         return sum(len(e) for e in self.entries)
 
@@ -85,9 +107,13 @@ class AcqLog:
     def __init__(self, num_procs: int) -> None:
         self.n = num_procs
         self.entries: List[List[RelEntry]] = [[] for _ in range(num_procs)]
+        #: grantors with entries — the trim pass visits only these instead
+        #: of scanning all N buckets at every checkpoint
+        self._nonempty: set = set()
 
     def append(self, grantor: int, lock_id: int, acq_t: VClock) -> None:
         self.entries[grantor].append(RelEntry(lock_id, acq_t))
+        self._nonempty.add(grantor)
 
     def for_grantor(self, grantor: int) -> List[RelEntry]:
         return list(self.entries[grantor])
@@ -99,11 +125,13 @@ class AcqLog:
         crashed grantor's rel_log that no recovery can need any more.
         """
         dropped = 0
-        for g in range(self.n):
+        for g in sorted(self._nonempty):
             old = self.entries[g]
             kept = [e for e in old if e.acq_t[own_pid] > own_tckp_component]
             dropped += len(old) - len(kept)
             self.entries[g] = kept
+            if not kept:
+                self._nonempty.discard(g)
         return dropped
 
     def count(self) -> int:

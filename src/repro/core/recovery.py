@@ -45,6 +45,7 @@ from repro.core.logs import RelEntry
 from repro.dsm.diff import Diff, apply_diff, concat_diffs, merge_runs
 from repro.dsm.interval import NoticeTable
 from repro.dsm.messages import (
+    GrantInfo,
     RecoveryDone,
     RecoveryQuery,
     RecoveryReply,
@@ -103,7 +104,17 @@ class RecoveryResponder:
 
     def handle(self, src: int, query: RecoveryQuery) -> None:
         kind = query.kind
-        if kind == "handshake":
+        if kind.startswith("replica_"):
+            # serve from the volatile replica tier: ``src`` lost a peer
+            # to an overlapping failure and fetches that peer's mirrored
+            # FT state from us (its buddy). detail = (protected, inner)
+            from repro.core.replica import serve_replica_query
+
+            protected, inner = query.detail
+            payload, size = serve_replica_query(
+                self.host, protected, src, kind[len("replica_") :], inner
+            )
+        elif kind == "handshake":
             payload, size = self._handshake(src)
         elif kind == "page_diffs":
             payload, size = self._page_diffs(query.detail)
@@ -222,20 +233,80 @@ class RecoveryManager:
 
     # -- query plumbing -------------------------------------------------
     def query(self, dst: int, kind: str, detail: Any = None) -> Iterator[Any]:
-        # qids are host-level monotonic: a restarted recovery must never
-        # reuse a qid a killed incarnation has in flight, or a stale
-        # reply could resolve the wrong future
-        qid = self.host.next_qid()
-        fut = Future(f"recovery {kind} -> {dst}")
-        self._pending[qid] = fut
-        self.cluster.send(
-            self.pid,
-            dst,
-            RecoveryQuery(kind=kind, requester=self.pid, detail=detail, qid=qid),
-        )
-        reply: RecoveryReply = yield fut
-        self._check_overlap(reply)
-        return reply.payload
+        while True:
+            # qids are host-level monotonic: a restarted recovery must
+            # never reuse a qid a killed incarnation has in flight, or a
+            # stale reply could resolve the wrong future
+            qid = self.host.next_qid()
+            fut = Future(f"recovery {kind} -> {dst}")
+            self._pending[qid] = fut
+            self.cluster.send(
+                self.pid,
+                dst,
+                RecoveryQuery(kind=kind, requester=self.pid, detail=detail, qid=qid),
+            )
+            reply: RecoveryReply = yield fut
+            if kind.startswith("replica_"):
+                # replica fetches are served from the holder's volatile
+                # replica tier, which is valid regardless of the holder's
+                # own failure history — no overlap check applies
+                return reply.payload
+            if not self.cluster.replication:
+                self._check_overlap(reply)
+                return reply.payload
+            if (
+                reply.responder_crash_time >= 0
+                and reply.responder_crash_time >= self.crash_time
+            ):
+                # overlapping failure: the responder lost the mirrors we
+                # need — fall back to its buddy's replica of them
+                payload = yield from self._query_replica(dst, kind, detail)
+                return payload
+            if reply.responder_recovering:
+                # the responder crashed strictly before us and is still
+                # rebuilding: its mirrors of *us* are intact but possibly
+                # not yet drained into its state — retry until it is
+                # live.  Deadlock-free: in any mutually-recovering pair
+                # exactly one side sees overlap (>= above) and completes
+                # via the replica path, unblocking the other.
+                from repro.sim.engine import Delay
+
+                yield Delay(self.cluster.config.failure_detection_delay)
+                continue
+            return reply.payload
+
+    def _query_replica(self, lost: int, kind: str, detail: Any) -> Iterator[Any]:
+        """Fetch what ``lost`` would have answered from a replica holder.
+
+        Tries holders in ring order; a holder whose record is missing or
+        torn answers with the NO_REPLICA sentinel and the next one is
+        tried. No holder left = the replica chain itself was lost
+        (e.g. both ends crashed before a re-sync) — that is the residual,
+        explicitly-diagnosed unrecoverable overlap.
+        """
+        from repro.core.replica import NO_REPLICA
+
+        cluster = self.cluster
+        tried: List[int] = []
+        while True:
+            holder = cluster.replica_holder(lost, exclude=tuple(tried))
+            if holder is None:
+                raise OverlappingFailureError(
+                    f"recovery of p{self.pid} (crashed t={self.crash_time:.6f}) "
+                    f"depends on p{lost}, which failed too, and no live "
+                    f"replica of p{lost}'s FT state survives — the replica "
+                    "chain was lost before a re-sync could repair it "
+                    "(overlapping failures exceed what one buddy covers)"
+                )
+            if cluster.probe is not None:
+                cluster.probe(
+                    self.pid, "repl", f"fetch kind={kind} lost={lost} holder={holder}"
+                )
+            payload = yield from self.query(holder, "replica_" + kind, (lost, detail))
+            if isinstance(payload, str) and payload == NO_REPLICA:
+                tried.append(holder)
+                continue
+            return payload
 
     def _check_overlap(self, reply: RecoveryReply) -> None:
         # Only the *ordering* of the failures matters. A responder that
@@ -286,6 +357,20 @@ class RecoveryManager:
         host.proto = proto
         cluster._install_ft(host)  # fresh FtManager over the surviving store
         ft: FtManager = host.ft
+
+        if cluster.replication:
+            # answer recovery queries held while we were down *now*, not
+            # at go-live: a peer recovering concurrently retries its
+            # queries against us and would otherwise wait forever while
+            # we wait on it (replies carry responder_recovering=True, so
+            # the peer knows to retry / fall back as appropriate)
+            held = [(s, m) for (s, m) in host.queued if isinstance(m, RecoveryQuery)]
+            if held:
+                host.queued = [
+                    e for e in host.queued if not isinstance(e[1], RecoveryQuery)
+                ]
+                for s, m in held:
+                    host.responder.handle(s, m)
 
         # a crash during a checkpoint disk write leaves a marker-less
         # (torn) record on stable storage; it must not be a restart point
@@ -358,6 +443,11 @@ class RecoveryManager:
         # repair our own managed locks / pending ops
         assert host.proto is not None
         host.proto.repair_forwards_for(self.pid)
+        if cluster.replication:
+            # re-enter the replication ring: our new incarnation picks a
+            # buddy and full-syncs; peers that had re-buddied away from
+            # us (or to a now-suboptimal ring position) re-evaluate
+            cluster._recompute_buddies()
         host.drain_queue()
 
     # ------------------------------------------------------------------
@@ -746,9 +836,21 @@ class ReplayDriver:
         proto = self.proto
         proto.replay = None
         self.apply_all_home_diffs()
+        # For locks this process manages, the GrantInfo stream that queued
+        # while it was down IS its own owner tracking: every transfer the
+        # grantors performed after their handshake replies went out is
+        # recorded there, so the last queued entry per lock supersedes any
+        # token snapshot a (possibly long-stale) reply carried. Without
+        # this, a transfer races the sequential handshake round and the
+        # manager resurrects the token at itself.
+        queued_owner: Dict[int, int] = {}
+        for _src, qmsg in self.rm.host.queued:
+            if isinstance(qmsg, GrantInfo) and proto.locks.manages(qmsg.lock_id):
+                queued_owner[qmsg.lock_id] = qmsg.grantee
         # reconstruct token placement. Preference order:
         #   1. the lock manager's owner tracking (GrantInfo) — robust,
         #   2. for locks we manage ourselves: peers' token snapshots,
+        #      corrected by the queued GrantInfo stream above,
         #   3. fall back to initial + arrivals - departures arithmetic
         #      (can undercount departures whose mirrors Rule 2 trimmed).
         all_locks = (
@@ -756,6 +858,7 @@ class ReplayDriver:
             | set(self.departures)
             | set(self.arrivals)
             | set(self.owner_reports)
+            | set(queued_owner)
             | set(proto.locks.known_locks())
         )
         for lock_id in all_locks:
@@ -767,7 +870,10 @@ class ReplayDriver:
             if owner is not None:
                 st.has_token = owner == self.pid
             elif proto.locks.manages(lock_id):
-                st.has_token = lock_id not in self.peer_token_holders
+                if lock_id in queued_owner:
+                    st.has_token = queued_owner[lock_id] == self.pid
+                else:
+                    st.has_token = lock_id not in self.peer_token_holders
             else:
                 initial = self.initial_token.get(lock_id, st.has_token)
                 present = (
@@ -784,7 +890,9 @@ class ReplayDriver:
             l for l in all_locks if proto.locks.manages(l)
         } | {l for l in self.succ_edges if proto.locks.manages(l)}
         for lock_id in managed:
-            holder = self.peer_token_holders.get(lock_id)
+            holder = queued_owner.get(
+                lock_id, self.peer_token_holders.get(lock_id)
+            )
             if holder is None:
                 holder = self.pid  # at/heading to the recovering process
             proto.locks.restore_chain(

@@ -32,6 +32,9 @@ __all__ = [
     "RecoveryQuery",
     "RecoveryReply",
     "RecoveryDone",
+    "AcqAck",
+    "ReplicaUpdate",
+    "ReplicaAck",
 ]
 
 
@@ -235,6 +238,99 @@ class BarrierRelease(Message):
 
     def payload_bytes(self, config: DsmConfig) -> int:
         return 8 + config.vt_bytes() + _notices_bytes(self.notices, config)
+
+
+@dataclass
+class AcqAck(Message):
+    """Acquirer -> grantor: the *actual* timestamp of a completed acquire.
+
+    The grantor logged a rel-entry with a predicted acquirer timestamp at
+    grant time (it cannot know the acquirer's vt at completion); the
+    acquirer confirms the real one so both halves of the §4.2.1 replicated
+    rel/acq pair converge to the same vector time.  Until this ack lands
+    the grantor's entry is the (componentwise smaller) prediction, which
+    replay joins identically except across a recovery-forced checkpoint —
+    the asymmetry documented in DESIGN.md §9.
+    """
+
+    lock_id: int = 0
+    acquirer: int = 0
+    acq_t: VClock = None  # type: ignore[assignment]
+    category: str = "lock"
+
+    def payload_bytes(self, config: DsmConfig) -> int:
+        return 8 + config.vt_bytes()
+
+
+# ---------------------------------------------------------------------------
+# replication traffic (buddy tier; only flows with FtConfig.replicate)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ReplicaUpdate(Message):
+    """Protected node -> buddy: mirror FT state into volatile memory.
+
+    ``kind`` is one of:
+
+    - ``"sync"``: full base snapshot, committed atomically on arrival
+      (sent on install, on re-buddying, and when going live after a
+      recovery);
+    - ``"begin"`` / ``"commit"``: two-phase base refresh bracketing a
+      checkpoint's disk write, mirroring the stable-storage commit-marker
+      discipline so a sender crash mid-replication leaves a detectably
+      *torn* replica record;
+    - ``"op"``: one incremental log event appended to every retained base
+      (grant, completed acquire, self-grant mirror, diff flush, barrier,
+      owner move, rel-entry fixup);
+    - ``"drop"``: the sender re-buddied away, free its replica here.
+    """
+
+    kind: str = ""
+    protected: int = 0
+    seqno: int = 0
+    gen: int = 0
+    body: object = None
+    body_size: int = 0
+    category: str = "replica"
+
+    def payload_bytes(self, config: DsmConfig) -> int:
+        return 16 + self.body_size
+
+    def ft_bytes(self, config: DsmConfig) -> int:
+        # the whole message is FT overhead traffic
+        return self.payload_bytes(config) + (
+            self.piggyback.size_bytes(config) if self.piggyback else 0
+        )
+
+    def size_bytes(self, config: DsmConfig) -> int:
+        return config.msg_header + self.ft_bytes(config)
+
+
+@dataclass
+class ReplicaAck(Message):
+    """Buddy -> protected node: base ``seqno`` is held in replica memory.
+
+    Garbage collection (CGC) may only collect page copies that are both
+    superseded on disk *and* covered by an acked replica base — the ack is
+    what moves the trim ceiling forward.
+    """
+
+    protected: int = 0
+    seqno: int = 0
+    gen: int = 0
+    category: str = "replica"
+
+    def payload_bytes(self, config: DsmConfig) -> int:
+        return 16
+
+    def ft_bytes(self, config: DsmConfig) -> int:
+        return self.payload_bytes(config) + (
+            self.piggyback.size_bytes(config) if self.piggyback else 0
+        )
+
+    def size_bytes(self, config: DsmConfig) -> int:
+        return config.msg_header + self.ft_bytes(config)
 
 
 # ---------------------------------------------------------------------------

@@ -88,6 +88,12 @@ class FtHooks:
     def on_buddy_self_grant(self, grantor: int, lock_id: int, acq_t: VClock) -> None:
         """Hold a buddy mirror of a manager's own self-grant."""
 
+    def on_mirror_self_grant(self, grantor: int, lock_id: int, acq_t: VClock) -> None:
+        """Managed lock: a peer's self-grant was mirrored into manager state."""
+
+    def on_owner_observed(self, lock_id: int, owner: int) -> None:
+        """Managed lock: the token's observed owner advanced to ``owner``."""
+
     def on_barrier_done(self, episode: int, global_vt: VClock) -> None:
         """This process passed barrier ``episode``."""
 
@@ -590,6 +596,7 @@ class DsmProcess:
         info = GrantInfo(lock_id=lock_id, grantor=self.pid, grantee=acquirer)
         if manager == self.pid:
             self.locks.manager(lock_id).grant_observed(acquirer)
+            self.ft.on_owner_observed(lock_id, acquirer)
         else:
             self._send(manager, info)
 
@@ -744,8 +751,10 @@ class DsmProcess:
                 mgr = self.locks.manager(msg.lock_id)
                 if msg.acq_t is not None:
                     mgr.log_self_grant(msg.grantor, msg.acq_t)
+                    self.ft.on_mirror_self_grant(msg.grantor, msg.lock_id, msg.acq_t)
                 else:
                     mgr.grant_observed(msg.grantee)
+                    self.ft.on_owner_observed(msg.lock_id, msg.grantee)
         elif isinstance(msg, LockForward):
             self._handle_forward(msg)
         elif isinstance(msg, LockGrant):
@@ -799,8 +808,35 @@ class DsmProcess:
     def _handle_grant(self, grant: LockGrant) -> None:
         if grant.seq and grant.seq <= self._completed_seq.get(grant.lock_id, 0):
             # grant for an acquire that recovery replay already accounted
-            # for: the token's current position was reconstructed at the
-            # live switch, so this copy must not resurrect it
+            # for. Usually a duplicate of a transfer whose effect the
+            # live-switch placement already reflects — but if this exact
+            # grant was parked in our queue while we were down AND the
+            # placement says the token is elsewhere, the report it used
+            # was stale (the grantor moved the token *after* answering
+            # our handshake): a dead process cannot grant onward, so a
+            # queued grant matching our last completed acquire IS the
+            # token, physically. Accept it only when nothing here has
+            # touched the token since the live switch — if placement
+            # already materialized it and a drained forward passed it on
+            # (``granted`` non-empty, rebuilt fresh at recovery), this
+            # copy is spent; likewise for older transfers (seq strictly
+            # below) and a token we still hold.
+            st = self.locks.token(grant.lock_id)
+            if (
+                grant.seq == self._completed_seq.get(grant.lock_id, 0)
+                and not st.has_token
+                and not st.granted
+            ):
+                st.has_token = True
+                st.held = False
+                if st.rel_vt is None:
+                    st.rel_vt = grant.rel_vt
+                if st.successor is not None:
+                    # a repair forward raced ahead of this acceptance and
+                    # parked the next waiter here; serve it now
+                    acquirer, acq_vt, seq = st.successor
+                    st.successor = None
+                    self._grant_to(grant.lock_id, acquirer, acq_vt, seq)
             return
         fut = self._lock_waiting.pop(grant.lock_id, None)
         if fut is not None:

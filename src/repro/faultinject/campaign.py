@@ -9,13 +9,21 @@ A sweep is three phases:
    injection.
 2. **Enumeration** — every Nth traced event, plus targeted classes:
    mid lock transfer, mid barrier, during a checkpoint disk write
-   (between the ``ckpt_write begin``/``end`` probes), and — from a
-   second, single-crash discovery run — during another node's recovery.
+   (between the ``ckpt_write begin``/``end`` probes), and — from
+   single-crash discovery runs — during another node's recovery. With
+   ``faults=2`` the schedule adds the ``double`` class (second crashes
+   across recovery windows opened at several reference anchors: the
+   recovering node again, its ring buddy — both ends of the replica
+   chain — and a plain responder) and the ``repl`` class (either end of
+   a checkpoint's begin→commit replication window, from the reference
+   run's ``repl`` probes).
 3. **Injection runs** — one fresh cluster per point with
    ``schedule_crash_at_step``; each must satisfy :func:`check_oracle`
-   (recovery equivalence) or raise
+   (recovery equivalence — the same bit-identical bar at k=2 as at
+   k=1) or raise
    :class:`~repro.core.recovery.OverlappingFailureError` (explicit
-   degradation, acceptable only for the ``recovery`` class).
+   degradation, acceptable only for the ``recovery``/``double``/
+   ``repl`` classes).
 
 By default the online invariant monitor
 (:class:`~repro.observe.invariants.InvariantMonitor`) rides along on the
@@ -45,10 +53,27 @@ __all__ = [
     "check_oracle",
 ]
 
-CLASSES = ("every", "lock", "barrier", "ckpt_write", "recovery")
+CLASSES = (
+    "every", "lock", "barrier", "ckpt_write", "recovery", "double", "repl",
+)
+
+#: classes enumerable from a single-fault budget
+SINGLE_FAULT_CLASSES = ("every", "lock", "barrier", "ckpt_write", "recovery")
+
+#: classes that may legitimately end in explicit degradation: a second
+#: failure overlapping a recovery (or killing a replica chain) can
+#: exceed what the configured replication degree retains
+DEGRADABLE_CLASSES = ("recovery", "double", "repl")
 
 #: window fractions probed for crashes inside another node's recovery
 RECOVERY_FRACTIONS = (0.25, 0.5, 0.75)
+
+#: the double-fault schedule probes more anchors and finer window
+#: fractions than the single-fault recovery class: base crashes at
+#: several points of the reference run, second crashes across each
+#: opened recovery window
+DOUBLE_ANCHOR_FRACTIONS = (0.2, 0.45, 0.7)
+DOUBLE_WINDOW_FRACTIONS = (0.1, 0.25, 0.4, 0.55, 0.7, 0.85)
 
 
 class OracleViolation(AssertionError):
@@ -86,6 +111,7 @@ class SweepSummary:
     reference_steps: int
     reference_events: int
     reference_wall_time: float
+    faults: int = 1
     results: List[PointResult] = field(default_factory=list)
     notes: List[str] = field(default_factory=list)
 
@@ -99,11 +125,12 @@ class SweepSummary:
     def ok(self) -> bool:
         """Acceptance: every point recovered (or harmlessly missed), and
         explicit degradation appears only where a second failure
-        overlapped a recovery."""
+        overlapped a recovery or destroyed a replica chain."""
         for r in self.results:
             if r.outcome == "failed":
                 return False
-            if r.outcome == "degraded" and r.point.cls != "recovery":
+            if (r.outcome == "degraded"
+                    and r.point.cls not in DEGRADABLE_CLASSES):
                 return False
         return True
 
@@ -111,6 +138,7 @@ class SweepSummary:
         return {
             **meta,
             "every": self.every,
+            "faults": self.faults,
             "classes": list(self.classes),
             "reference": {
                 "steps": self.reference_steps,
@@ -243,18 +271,28 @@ class CrashSweep:
         cluster_factory: Callable[[], Any],
         app_factory: Callable[[], Any],
         every: int = 25,
-        classes: Tuple[str, ...] = CLASSES,
+        classes: Optional[Tuple[str, ...]] = None,
+        faults: int = 1,
         monitor: bool = True,
         monitor_scan_every: int = 10,
     ) -> None:
+        if faults not in (1, 2):
+            raise ValueError("--faults must be 1 or 2")
+        if classes is None:
+            classes = CLASSES if faults >= 2 else SINGLE_FAULT_CLASSES
         unknown = set(classes) - set(CLASSES)
         if unknown:
             raise ValueError(f"unknown crash-point classes: {sorted(unknown)}")
+        if faults < 2 and ({"double", "repl"} & set(classes)):
+            raise ValueError(
+                "the double/repl crash-point classes need --faults 2"
+            )
         if every < 1:
             raise ValueError("--every must be >= 1")
         self.cluster_factory = cluster_factory
         self.app_factory = app_factory
         self.every = every
+        self.faults = faults
         self.classes = tuple(c for c in CLASSES if c in classes)
         #: attach the online invariant monitor to the reference run and
         #: every injection run (read-only, so step indices stay valid);
@@ -266,6 +304,10 @@ class CrashSweep:
         self.reference_steps = 0
         self.reference_wall_time = 0.0
         self.notes: List[str] = []
+        #: recovery windows discovered by single-crash runs, keyed by the
+        #: base crash (step, victim) — shared by the recovery and double
+        #: classes so anchors are probed at most once
+        self._windows: Dict[Tuple[int, int], Optional[Tuple[int, int]]] = {}
 
     def _attach_monitor(self, cluster: Any):
         if not self.monitor:
@@ -352,57 +394,130 @@ class CrashSweep:
                     add("ckpt_write", mid, ev.pid)
         if "recovery" in self.classes:
             points.extend(self._recovery_points())
+        if "double" in self.classes:
+            points.extend(self._double_points())
+        if "repl" in self.classes:
+            points.extend(self._repl_points(events))
         return points
 
-    def _recovery_points(self) -> List[CrashPoint]:
-        """Discovery run: one crash mid-reference, then enumerate points
-        inside the recovery window it opens (second-failure class)."""
-        events = [e for e in self.reference_trace if e.step >= 1]
-        if not events:
-            return []
-        anchor = events[int(len(events) * 0.45)]
-        base = (anchor.step, anchor.pid)
-
+    def _recovery_window(
+        self, anchor_step: int, anchor_pid: int
+    ) -> Optional[Tuple[int, int]]:
+        """Discovery run: crash ``anchor_pid`` at ``anchor_step`` and
+        trace the (begin, live) step window its recovery opens. Cached —
+        the recovery and double classes share anchors."""
+        base = (anchor_step, anchor_pid)
+        if base in self._windows:
+            return self._windows[base]
         cluster = self.cluster_factory()
         tracer = Tracer(cluster, kinds={"recovery"}, max_events=1_000_000)
-        cluster.schedule_crash_at_step(anchor.pid, anchor.step)
+        cluster.schedule_crash_at_step(anchor_pid, anchor_step)
         cluster.run(self.app_factory())
-
         begin = live = None
         for ev in tracer.events:
-            if ev.pid != anchor.pid:
+            if ev.pid != anchor_pid:
                 continue
             if ev.detail.startswith("begin") and begin is None:
                 begin = ev.step
             elif ev.detail == "live" and begin is not None:
                 live = ev.step
                 break
-        if begin is None or live is None or live <= begin + 1:
+        window = None
+        if begin is not None and live is not None and live > begin + 1:
+            window = (begin, live)
+        self._windows[base] = window
+        return window
+
+    def _window_points(
+        self,
+        cls: str,
+        anchor_frac: float,
+        window_fracs: Tuple[float, ...],
+        victims: Tuple[int, ...],
+    ) -> List[CrashPoint]:
+        """Second-crash points inside the recovery window opened by a
+        base crash at ``anchor_frac`` of the reference event stream."""
+        events = [e for e in self.reference_trace if e.step >= 1]
+        if not events:
+            return []
+        anchor = events[int(len(events) * anchor_frac)]
+        base = (anchor.step, anchor.pid)
+        window = self._recovery_window(anchor.step, anchor.pid)
+        if window is None:
             self.notes.append(
                 f"recovery window for base crash p{anchor.pid}@{anchor.step} "
-                "too narrow; recovery class skipped"
+                f"too narrow; {cls} points for this anchor skipped"
             )
             return []
-
+        begin, live = window
+        n = self.cluster_factory().config.num_procs
         out: List[CrashPoint] = []
-        other = (anchor.pid + 1) % cluster.config.num_procs
-        for frac in RECOVERY_FRACTIONS:
+        seen: set = set()
+        for frac in window_fracs:
             step = begin + max(1, int((live - begin) * frac))
             if step >= live:
                 step = live - 1
-            # the same victim again: recovery must restart cleanly;
-            # a different victim: overlapping failure, explicit degrade
-            out.append(CrashPoint("recovery", step, anchor.pid, base))
-            out.append(CrashPoint("recovery", step, other, base))
-        # dedup (fractions can collapse on short windows)
-        uniq: List[CrashPoint] = []
-        seen: set = set()
-        for p in out:
-            key = (p.step, p.victim)
-            if key not in seen:
-                seen.add(key)
-                uniq.append(p)
-        return uniq
+            for off in victims:
+                victim = (anchor.pid + off) % n
+                key = (step, victim)
+                if key not in seen:  # fractions collapse on short windows
+                    seen.add(key)
+                    out.append(CrashPoint(cls, step, victim, base))
+        return out
+
+    def _recovery_points(self) -> List[CrashPoint]:
+        """One crash mid-reference, then points inside the recovery
+        window it opens: the same victim again (recovery must restart
+        cleanly) and a responder (overlapping failure — explicit degrade,
+        or a buddy-replica fetch when replication is on)."""
+        return self._window_points("recovery", 0.45, RECOVERY_FRACTIONS, (0, 1))
+
+    def _double_points(self) -> List[CrashPoint]:
+        """The k=2 schedule: base crashes at several reference anchors,
+        second crashes across each opened recovery window. Victim offsets
+        cover the cascading restart (0: the recovering node again), both
+        ends of the replica chain (+1: the anchor's ring buddy, which
+        holds its replicated FT state *and* serves as a responder), and a
+        plain responder that holds no replica of the anchor (+2)."""
+        out: List[CrashPoint] = []
+        for anchor_frac in DOUBLE_ANCHOR_FRACTIONS:
+            out.extend(
+                self._window_points(
+                    "double", anchor_frac, DOUBLE_WINDOW_FRACTIONS, (0, 1, 2)
+                )
+            )
+        return out
+
+    def _repl_points(self, events: List[Any]) -> List[CrashPoint]:
+        """Crashes in the middle of a replication exchange, enumerated
+        from the reference run's ``repl`` probes: for each checkpoint's
+        begin→commit replication window, kill the buddy (it dies holding
+        a torn replica record) and the sender (its checkpoint commits
+        but the replica ack never arrives)."""
+        windows: Dict[Tuple[int, str], int] = {}
+        out: List[CrashPoint] = []
+        found = False
+        for ev in events:
+            if ev.kind != "repl":
+                continue
+            parts = ev.detail.split()
+            if parts[0] == "begin":
+                found = True
+                windows[(ev.pid, parts[1])] = ev.step
+            elif parts[0] == "commit":
+                b = windows.pop((ev.pid, parts[1]), None)
+                if b is None:
+                    continue
+                mid = max(b, min((b + ev.step) // 2, ev.step - 1))
+                buddy = int(parts[2].split("=")[1])  # "dst=B"
+                out.append(CrashPoint("repl", mid, buddy))
+                out.append(CrashPoint("repl", mid, ev.pid))
+        if not found:
+            self.notes.append(
+                "no replication probes in the reference run (replication "
+                "disabled?); repl class skipped"
+            )
+        return out
 
     # ------------------------------------------------------------------
     # injection
@@ -478,6 +593,7 @@ class CrashSweep:
             reference_steps=self.reference_steps,
             reference_events=len(self.reference_trace),
             reference_wall_time=self.reference_wall_time,
+            faults=self.faults,
             notes=list(self.notes),
         )
         for point in points:

@@ -51,10 +51,15 @@ The five invariant classes:
     with a starting copy usable by every live peer (``p0.version <=``
     the peer's vector time — Rule 3's guarantee); the restart checkpoint
     is a committed stable-storage key and no torn keys exist outside a
-    checkpoint write window; and the rel/acq log replication of §4.2.1
+    checkpoint write window; the rel/acq log replication of §4.2.1
     holds pairwise — every acquire a live node logged is present in its
-    grantor's rel_log, so a crash of either side can be replayed from
-    the surviving copy.
+    grantor's rel_log with the *actual* acquire timestamp (exactly at
+    quiescence, prediction <= actual while an AcqAck is in flight), so a
+    crash of either side can be replayed from the surviving copy; and,
+    when the buddy-replication tier is on, the replicated-copy chains
+    are sane — CGC trims never outran the buddy's acks, buddies never
+    hold checkpoints the protected node did not commit, and no torn
+    replica record survives quiescence.
 
 On the first violation — and on every crash — the attached
 :class:`~repro.observe.invariants.recorder.FlightRecorder` state is
@@ -160,6 +165,9 @@ class InvariantMonitor:
         #: per-(pid, page) oldest retained checkpoint seqno (CGC
         #: monotonicity floor)
         self._ckpt_floor: Dict[Tuple[int, Any], int] = {}
+        #: per-pid high-water mark of buddy-acked replica seqnos (the
+        #: trim-never-ahead-of-ack bound; survives re-buddy resets)
+        self._acked_hwm: Dict[int, int] = {}
         #: pids currently inside a ckpt_write begin/end window (torn
         #: stable-store keys are legal only there or while down)
         self._ckpt_writing: Set[int] = set()
@@ -374,16 +382,29 @@ class InvariantMonitor:
             return
         tmin = ft.trim.tmin()
         latest = mgr.latest
+        # with buddy replication, a copy is collectible only when it is
+        # ALSO buddy-held: CGC gates on the replica-ack seqno ceiling, so
+        # copies <= Tmin above the ceiling legitimately survive the pass
+        ceil = (
+            ft.cgc_seqno_ceiling()
+            if hasattr(ft, "cgc_seqno_ceiling") else None
+        )
         for page, copies in mgr.page_copies.items():
             # versions are non-decreasing, so copies <= Tmin form a
             # prefix; after a correct pass only its last element remains
-            n_le = sum(1 for c in copies if c.version.leq(tmin))
+            # (of those the ack ceiling lets the pass consider at all)
+            n_le = sum(
+                1 for c in copies
+                if c.version.leq(tmin)
+                and (ceil is None or c.ckpt_seqno <= ceil)
+            )
             if n_le > 1:
                 self._violate(
                     "cgc", pid,
                     f"page {tuple(page)}: {n_le} retained copies <= Tmin "
-                    f"{tuple(tmin)} after CGC — only the maximal starting "
-                    "copy may remain at or below Tmin (Rule 3.1)",
+                    f"{tuple(tmin)} (and buddy-acked) after CGC — only "
+                    "the maximal starting copy may remain at or below "
+                    "Tmin (Rule 3.1)",
                 )
             if latest is not None and copies and (
                 copies[-1].ckpt_seqno != latest.seqno
@@ -541,7 +562,7 @@ class InvariantMonitor:
     # ==================================================================
     # invariant 5 — structural recoverability
     # ==================================================================
-    def _scan_structural(self) -> None:
+    def _scan_structural(self, final: bool = False) -> None:
         hosts = self.cluster.hosts
         # Wide clusters: one componentwise min over every live vector
         # time screens the per-(page, peer) Rule 3 loop — a copy version
@@ -632,18 +653,19 @@ class InvariantMonitor:
         # * entries at or below our own checkpoint cut are dead (a
         #   restart replays nothing before the cut) and may linger in
         #   our acq_log until our next LLT pass — skipped;
-        # * the two sides do not log identical vts: the grantor logs a
-        #   *predicted* acquirer vt (from the request), the acquirer its
-        #   *actual* post-acquire vt, and the two diverge when the
-        #   acquirer's vt advances between request and grant (e.g.
-        #   across a recovery's forced checkpoint; see DESIGN.md §9).
-        #   Entries are therefore matched by grant identity — lock id
+        # * grantors log the acquirer's *actual* acquire timestamp: the
+        #   initial entry carries the grant-time prediction (= actual on
+        #   every failure-free path) and the acquirer's AcqAck replaces
+        #   it with the actual vt when the two diverge (recovery-forced
+        #   resends). Entries are matched by grant identity — lock id
         #   plus the *grantor's own* vt component, which both sides
-        #   compute identically — and a missing match is flagged only
-        #   when the grantor retains an *older* grant for us: correct
-        #   trimming is a prefix drop in grant order, so old-retained +
-        #   new-missing is a definite loss, while all-later/empty may
-        #   just be the grantor's earlier (predicted-vt) trim.
+        #   compute identically. A matched pair must agree: exactly once
+        #   the run has quiesced (``final``), and within prediction <=
+        #   actual while an AcqAck may still be in flight. A missing
+        #   match is flagged only when the grantor retains an *older*
+        #   grant for us: correct trimming is a prefix drop in grant
+        #   order, so old-retained + new-missing is a definite loss,
+        #   while all-later/empty is just the grantor's earlier trim.
         for host in hosts:
             ft = host.ft
             if ft is None or not host.live or host.recovering:
@@ -663,12 +685,39 @@ class InvariantMonitor:
                 if (peer.ft is None or not peer.live or peer.recovering):
                     continue
                 rel = peer.ft.logs.rel.entries[i]
-                theirs = {(e.lock_id, e.acq_t[g]) for e in rel}
+                theirs: Dict[Tuple[int, int], List[Any]] = {}
+                for e in rel:
+                    theirs.setdefault(
+                        (e.lock_id, e.acq_t[g]), []
+                    ).append(e.acq_t)
                 oldest_rel = min((e.acq_t[g] for e in rel), default=None)
                 for e in mine:
                     if e.acq_t[i] <= own_cut:
                         continue  # dead: below our own restart cut
-                    if (e.lock_id, e.acq_t[g]) in theirs:
+                    logged = theirs.get((e.lock_id, e.acq_t[g]))
+                    if logged is not None:
+                        if final:
+                            if not any(t == e.acq_t for t in logged):
+                                self._violate(
+                                    "recoverability", i,
+                                    f"p{g}'s rel_log[{i}] entry for lock "
+                                    f"{e.lock_id} does not exactly match "
+                                    f"the acquirer's actual timestamp "
+                                    f"{tuple(e.acq_t)} after quiescence — "
+                                    "the §4.2.1 pair disagrees (AcqAck "
+                                    "fix-up lost)",
+                                )
+                                break
+                        elif not any(t.leq(e.acq_t) for t in logged):
+                            self._violate(
+                                "recoverability", i,
+                                f"p{g}'s rel_log[{i}] entry for lock "
+                                f"{e.lock_id} stamps a timestamp beyond "
+                                f"the acquirer's actual {tuple(e.acq_t)} "
+                                "— the grantor logged an acquire that "
+                                "never happened",
+                            )
+                            break
                         continue
                     if oldest_rel is not None and oldest_rel < e.acq_t[g]:
                         self._violate(
@@ -680,7 +729,93 @@ class InvariantMonitor:
                             "lost an entry",
                         )
                         break
+        self._scan_replicas(final)
         self.checks["recoverability"] += 1
+
+    def _scan_replicas(self, final: bool) -> None:
+        """Replication-tier recoverability: trims never outran buddy
+        acks, and buddy-held replica chains are sane.
+
+        The protected side's bound uses a high-water mark of acked
+        seqnos rather than the current ``acked_seqno``: re-buddying
+        resets the ack counter to "nothing held" while previously-acked
+        (and therefore legitimately trimmed) state waits for the full
+        re-sync to be acknowledged — the genuine exposure window the
+        double-fault sweep's degraded points come from, not a trim bug.
+        """
+        hosts = self.cluster.hosts
+        for host in hosts:
+            ft = host.ft
+            repl = getattr(ft, "repl", None) if ft is not None else None
+            if repl is None or not host.live or host.recovering:
+                continue
+            pid = host.pid
+            mgr = host.ckpt_mgr
+            latest_committed = (
+                mgr.next_seqno - 1 if mgr is not None else 0
+            )
+            if repl.acked_seqno > latest_committed:
+                self._violate(
+                    "recoverability", pid,
+                    f"replica ack seqno {repl.acked_seqno} exceeds the "
+                    f"latest committed checkpoint {latest_committed} — "
+                    "the buddy acked state that was never replicated",
+                )
+            hwm = max(
+                self._acked_hwm.get(pid, 0), max(0, repl.acked_seqno)
+            )
+            self._acked_hwm[pid] = hwm
+            if mgr is not None:
+                for page, copies in mgr.page_copies.items():
+                    if copies and copies[0].ckpt_seqno > hwm:
+                        self._violate(
+                            "recoverability", pid,
+                            f"page {tuple(page)}: oldest retained copy is "
+                            f"from checkpoint {copies[0].ckpt_seqno}, "
+                            f"beyond the highest buddy-acked seqno {hwm} "
+                            "— CGC trimmed state no replica ever held",
+                        )
+                        break
+        # the buddy's side of each chain
+        for holder in hosts:
+            if not holder.live:
+                continue
+            rstore = getattr(holder, "replica_store", None)
+            if rstore is None:
+                continue
+            for protected in rstore.protected_pids():
+                st = rstore.store_for(protected)
+                p_host = hosts[protected]
+                p_live = p_host.live and not p_host.recovering
+                p_latest = (
+                    p_host.ckpt_mgr.next_seqno - 1
+                    if p_live and p_host.ckpt_mgr is not None else None
+                )
+                for key in st.keys():
+                    if st.is_pending(key):
+                        # torn records are legal mid-transfer and after
+                        # a sender crash; only a quiesced run with the
+                        # protected node alive must have none left (the
+                        # run can end with the final commit still in
+                        # flight — a drained network is what makes the
+                        # record definitively torn rather than pending)
+                        if (final and p_live and p_host.finished
+                                and not self.cluster.network.inflight_msgs):
+                            self._violate(
+                                "recoverability", holder.pid,
+                                f"replica record {key} of p{protected} "
+                                "is still torn (begin without commit) "
+                                "after the run quiesced",
+                            )
+                        continue
+                    if p_latest is not None and key[1] > p_latest:
+                        self._violate(
+                            "recoverability", holder.pid,
+                            f"holds a committed replica of "
+                            f"p{protected}'s checkpoint {key[1]}, which "
+                            f"p{protected} never committed "
+                            f"(latest {p_latest})",
+                        )
 
     # ==================================================================
     # lifecycle / reporting
@@ -688,7 +823,7 @@ class InvariantMonitor:
     def finish(self) -> List[Violation]:
         """Final full check after the run; returns all violations."""
         self._refresh_vclocks()
-        self._scan_structural()
+        self._scan_structural(final=True)
         return self.violations
 
     def flight_record(self, reason: str) -> Dict[str, Any]:

@@ -36,7 +36,7 @@ def _seed_cgc(cluster: Any) -> None:
 
     def install(host: Any) -> None:
         orig_install(host)
-        host.ckpt_mgr.collect = lambda tmin: 0
+        host.ckpt_mgr.collect = lambda tmin, seqno_ceiling=None: 0
 
     cluster._install_ft = install
 

@@ -172,6 +172,20 @@ class ClusterObserver:
                 len(h.ckpt_mgr.retained_seqnos) if h.ckpt_mgr is not None else 0.0
             ),
         )
+        if self.cluster.replication:
+            # bytes of *peers'* FT state this node holds (volatile
+            # replica tier) and how far its own replication trails its
+            # checkpoints (0 = buddy holds everything committed)
+            reg.gauge(
+                "ft.replica_bytes", pid,
+                lambda h=host: h.replica_store.used_bytes,
+            )
+            reg.gauge(
+                "ft.replica_lag", pid,
+                ft_read(
+                    lambda h: h.ft.repl.lag if h.ft.repl is not None else 0.0
+                ),
+            )
 
     # ------------------------------------------------------------------
     # sampling

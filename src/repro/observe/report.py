@@ -34,12 +34,17 @@ __all__ = [
 
 #: series a healthy FT run report must contain (CI smoke asserts these):
 #: per-node stable+volatile log size, diff traffic and the retained
-#: checkpoint count (the paper's bounded-window claim) over virtual time
+#: checkpoint count (the paper's bounded-window claim) over virtual
+#: time; the ``ft.replica_*`` pair (buddy-held replica bytes, own
+#: replication lag in checkpoints) is required only of replication-
+#: enabled runs (``header["replicate"]``)
 KEY_SERIES = (
     "ft.log_volatile_bytes",
     "ft.log_saved_bytes",
     "dsm.diff_bytes_sent",
     "ft.ckpts_retained",
+    "ft.replica_bytes",
+    "ft.replica_lag",
 )
 
 
@@ -142,6 +147,10 @@ def validate_report(report: Dict[str, Any], require_ft: bool = True) -> List[str
         KEY_SERIES if require_ft
         else tuple(n for n in KEY_SERIES if not n.startswith("ft."))
     )
+    if not (report.get("header") or {}).get("replicate"):
+        required = tuple(
+            n for n in required if not n.startswith("ft.replica")
+        )
     for name in required:
         recs = by_metric.get(name)
         if not recs:
@@ -212,6 +221,8 @@ def render_report(report: Dict[str, Any]) -> str:
 
     charts = [
         ("ft.log_volatile_bytes", "log size (volatile) vs virtual time", "s", "bytes"),
+        ("ft.replica_bytes", "buddy-held replica bytes vs virtual time", "s", "bytes"),
+        ("ft.replica_lag", "replication lag vs virtual time", "s", "ckpts"),
         ("dsm.diff_bytes_sent", "diff traffic vs virtual time", "s", "bytes"),
         ("ft.log_disk_bytes", "stable log vs checkpoint number", "ckpt", "bytes"),
         ("sim.events_per_vsec", "simulator events per virtual second", "s", "ev/s"),

@@ -82,6 +82,7 @@ OP_KINDS = (
     "ckpt",
     "ckpt_write",
     "recovery",
+    "repl",
 )
 
 #: which op-span kinds enclose the wait spans of each bucket
@@ -547,6 +548,24 @@ class SpanTracer:
                 span = self._innermost(pid, ("recovery",))
                 if span is not None:
                     span.detail += f"; {detail}"
+        elif kind == "repl":
+            # replication tier: begin/commit bracket one checkpoint's
+            # buddy transfer (overlapping the ckpt_write span); a fetch
+            # is a zero-duration marker on the recovery critical path —
+            # the recovering node pulling a lost peer's FT state from
+            # its buddy — and annotates the enclosing recovery span
+            if detail.startswith("begin"):
+                self._open_span(pid, "repl", detail)
+            elif detail.startswith("commit"):
+                span = self._innermost(pid, ("repl",))
+                if span is not None:
+                    self._close_span(span)
+            elif detail.startswith("fetch"):
+                span = self._open_span(pid, "repl", detail)
+                self._close_span(span)
+                rec = self._innermost(pid, ("recovery",))
+                if rec is not None:
+                    rec.detail += f"; {detail}"
 
     # ------------------------------------------------------------------
     # queries

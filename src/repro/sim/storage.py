@@ -16,7 +16,7 @@ from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from repro.sim.engine import Delay
 
-__all__ = ["DiskConfig", "Disk", "CheckpointStore"]
+__all__ = ["DiskConfig", "Disk", "CheckpointStore", "ReplicaStore"]
 
 
 @dataclass(frozen=True)
@@ -140,3 +140,49 @@ class CheckpointStore:
     @property
     def used_bytes(self) -> int:
         return sum(self._sizes.values())
+
+
+class ReplicaStore:
+    """Volatile in-memory store of *peers'* replicated FT state.
+
+    One per node, owned by the node's memory (NOT its disk): it holds the
+    buddy-replicated checkpoints and sender-log segments of the peers this
+    node protects, and — being volatile — it dies with the node.
+    :meth:`clear` models exactly that and is called from ``cluster.crash``.
+
+    Each protected peer maps to a nested :class:`CheckpointStore`, reusing
+    its two-phase commit-marker discipline verbatim: a replica base that
+    was mid-transfer when the protected node died is a *torn* record
+    (``begin`` seen, ``commit`` never arrived) and recovery must fall back
+    to the previous committed base, exactly as the disk path falls back to
+    the previous committed checkpoint.
+    """
+
+    def __init__(self, node_id: int) -> None:
+        self.node_id = node_id
+        self._stores: Dict[int, CheckpointStore] = {}
+
+    def store_for(self, protected: int) -> CheckpointStore:
+        st = self._stores.get(protected)
+        if st is None:
+            st = self._stores[protected] = CheckpointStore(protected)
+        return st
+
+    def has(self, protected: int) -> bool:
+        return protected in self._stores
+
+    def drop(self, protected: int) -> int:
+        """Forget everything held for ``protected``; returns bytes freed."""
+        st = self._stores.pop(protected, None)
+        return st.used_bytes if st is not None else 0
+
+    def clear(self) -> None:
+        """The holder crashed: every replica it held is lost."""
+        self._stores.clear()
+
+    def protected_pids(self) -> List[int]:
+        return sorted(self._stores)
+
+    @property
+    def used_bytes(self) -> int:
+        return sum(st.used_bytes for st in self._stores.values())
