@@ -656,6 +656,62 @@ def run_monitor(argv: list) -> int:
     return 1
 
 
+def build_report_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="python -m repro report",
+        description="Aggregate every pipeline's artifacts (OBSERVE run "
+        "reports, TRACE span DAGs, SWEEP campaign summaries, BENCH "
+        "baselines, FLIGHT records) into one analytics dashboard. "
+        "Read-only. Exits nonzero on any malformed artifact, failed "
+        "sweep, present flight record, or bench throughput regression "
+        "beyond the threshold.",
+    )
+    p.add_argument(
+        "paths", nargs="*", default=["benchmarks"],
+        help="artifact files and/or directories to scan "
+        "(default: benchmarks/)",
+    )
+    p.add_argument(
+        "--threshold", type=float, default=None, metavar="FRAC",
+        help="fractional aggregate-throughput drop that fails a bench "
+        "trend (default 0.10)",
+    )
+    p.add_argument(
+        "--html", default=None, metavar="PATH",
+        help="also write the dashboard as a standalone HTML page",
+    )
+    return p
+
+
+def run_report(argv: list) -> int:
+    from repro.observe.analytics import (
+        DEFAULT_THRESHOLD,
+        build_dashboard,
+        discover_artifacts,
+        load_artifact,
+        render_dashboard,
+        render_html,
+    )
+
+    args = build_report_parser().parse_args(argv)
+    paths = discover_artifacts(args.paths)
+    if not paths:
+        print(f"no artifacts found under {args.paths}", file=sys.stderr)
+        return 1
+    threshold = (
+        args.threshold if args.threshold is not None else DEFAULT_THRESHOLD
+    )
+    dash = build_dashboard(
+        [load_artifact(p) for p in paths], threshold=threshold
+    )
+    print(render_dashboard(dash))
+    if args.html:
+        with open(args.html, "w") as fh:
+            fh.write(render_html(dash))
+        print(f"\nhtml dashboard written to {args.html}")
+    return 0 if dash["ok"] else 1
+
+
 def main(argv: Optional[list] = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
@@ -667,6 +723,8 @@ def main(argv: Optional[list] = None) -> int:
         return run_trace(argv[1:])
     if argv and argv[0] == "monitor":
         return run_monitor(argv[1:])
+    if argv and argv[0] == "report":
+        return run_report(argv[1:])
     args = build_parser().parse_args(argv)
 
     if args.app == "bench":

@@ -67,6 +67,11 @@ class ProcHost:
         self.finished = False
         #: virtual time of the most recent fail-stop (-1: never crashed)
         self.last_crash_time = -1.0
+        #: phase anatomy of every *completed* recovery (one record per
+        #: incarnation that reached the live switch, DESIGN.md §12);
+        #: host-level so crash-sweep readers can harvest it after the
+        #: run — a recovery killed by a second crash records nothing
+        self.recovery_phases: List[Dict[str, float]] = []
         #: monotonic recovery-query ids; host-level (not per incarnation)
         #: so replies to a killed recovery cannot collide with a restarted
         #: one's queries

@@ -375,6 +375,10 @@ class FtManager(FtHooks):
         yield from proc.cpu.charge(TimeBucket.LOG_CKPT, write_cost)
         self._probe("ckpt_write", f"end seqno={seqno}")
         self.stats.time_disk += proc.engine.now - t0
+        if self.obs is not None:
+            # write+commit duration: the commit marker lands in zero
+            # virtual time right after the write completes
+            self.obs.on_ckpt_write(self.pid, proc.engine.now - t0)
 
         # -- commit marker ---------------------------------------------------
         self.logs.diff.mark_all_saved()

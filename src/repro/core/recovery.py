@@ -230,6 +230,16 @@ class RecoveryManager:
         #: from peers that failed at-or-after this instant signal overlap
         self.crash_time = host.last_crash_time
         self._pending: Dict[int, Future] = {}
+        #: phase-boundary virtual times (recovery anatomy, DESIGN.md §12):
+        #: begin / restore end / handshake end, filled as the procedure
+        #: advances; a killed incarnation's partial marks die with it
+        self._t_begin = -1.0
+        self._t_restored = -1.0
+        self._t_handshake = -1.0
+        #: buddy-replica fetch accounting (the stable-store-vs-replica
+        #: split of the restore/replay work)
+        self.replica_fetches = 0
+        self.replica_fetch_s = 0.0
 
     # -- query plumbing -------------------------------------------------
     def query(self, dst: int, kind: str, detail: Any = None) -> Iterator[Any]:
@@ -302,7 +312,10 @@ class RecoveryManager:
                 cluster.probe(
                     self.pid, "repl", f"fetch kind={kind} lost={lost} holder={holder}"
                 )
+            t0 = cluster.engine.now
             payload = yield from self.query(holder, "replica_" + kind, (lost, detail))
+            self.replica_fetches += 1
+            self.replica_fetch_s += cluster.engine.now - t0
             if isinstance(payload, str) and payload == NO_REPLICA:
                 tried.append(holder)
                 continue
@@ -346,10 +359,17 @@ class RecoveryManager:
     # ------------------------------------------------------------------
     # the recovery procedure
     # ------------------------------------------------------------------
+    def _rphase(self, detail: str) -> None:
+        """Announce a recovery-phase boundary on the probe hook."""
+        if self.cluster.probe is not None:
+            self.cluster.probe(self.pid, "rphase", detail)
+
     def recover_and_resume(self) -> Iterator[Any]:
         host = self.host
         cluster = self.cluster
         host.recovery_mgr = self
+        self._t_begin = cluster.engine.now
+        self._rphase("restore begin")
 
         # 1. rebuild volatile infrastructure -----------------------------
         proto = host.make_protocol()
@@ -405,16 +425,22 @@ class RecoveryManager:
         yield from proto.cpu.charge(
             TimeBucket.LOG_CKPT, host.disk.read_cost(restore_bytes)
         )
+        self._t_restored = cluster.engine.now
+        self._rphase("restore end")
 
         # 2. handshake ----------------------------------------------------
+        self._rphase("handshake begin")
         replies = yield from self.query_all("handshake")
         driver = ReplayDriver(proto, ft, self, tckp, ckpt)
         driver.ingest_handshakes(replies)
 
         home_diffs = yield from self.query_all("home_diffs")
         driver.ingest_home_diffs(home_diffs)
+        self._t_handshake = cluster.engine.now
+        self._rphase("handshake end")
 
         # 3. replay -------------------------------------------------------
+        self._rphase("replay begin")
         proto.replay = driver
         driver.apply_eligible_home_diffs()
         driver.on_live = self._go_live
@@ -427,10 +453,52 @@ class RecoveryManager:
             driver.go_live()
         host.recovery_mgr = None
 
+    def _finish_phases(self) -> None:
+        """Record this incarnation's completed recovery anatomy.
+
+        Emitted at the live switch, *before* the ``recovery live`` probe
+        so the span tracer closes the replay child span while its parent
+        recovery span is still open. Phase durations (all virtual time):
+
+        * ``detect``    — fail-stop to recovery start (the cluster's
+          failure-detection delay);
+        * ``restore``   — infrastructure rebuild + stable-store read of
+          the restart checkpoint and saved logs;
+        * ``handshake`` — the two ``query_all`` rounds (handshake and
+          home-diff collection), including any buddy-replica fallback
+          fetches (counted separately in ``replica_fetches``/
+          ``replica_fetch_s``);
+        * ``replay``    — log-guided re-execution up to the live switch;
+        * ``resume``    — the live switch itself (RecoveryDone broadcast,
+          forwarded-lock repair, queue drain); it runs synchronously in
+          zero virtual time today but is recorded so the schema names
+          every phase of the recovery path.
+        """
+        host = self.host
+        t_live = self.cluster.engine.now
+        self._rphase("replay end")
+        rec = {
+            "incarnation": host.crashed_count,
+            "crash_time": self.crash_time,
+            "detect": self._t_begin - self.crash_time,
+            "restore": self._t_restored - self._t_begin,
+            "handshake": self._t_handshake - self._t_restored,
+            "replay": t_live - self._t_handshake,
+            "resume": 0.0,
+            "total": t_live - self.crash_time,
+            "replica_fetches": self.replica_fetches,
+            "replica_fetch_s": self.replica_fetch_s,
+        }
+        host.recovery_phases.append(rec)
+        obs = self.cluster.observer
+        if obs is not None:
+            obs.on_recovery_phases(self.pid, rec)
+
     def _go_live(self) -> None:
         """Called by the driver at the live switch."""
         host = self.host
         cluster = self.cluster
+        self._finish_phases()
         host.recovering = False
         host.live = True
         cluster.recoveries += 1

@@ -200,6 +200,11 @@ class Replicator:
         self.bytes_sent = 0
         self.ops_sent = 0
         self.syncs_sent = 0
+        #: commit-send virtual times per seqno, kept only while an
+        #: observer is attached — popped on ack to feed the transfer/ack
+        #: lag percentile distribution (observer-private accounting; the
+        #: protocol never reads it)
+        self._commit_sent: Dict[int, float] = {}
 
     # -- buddy assignment ----------------------------------------------
     def choose_buddy(self) -> Optional[int]:
@@ -222,6 +227,7 @@ class Replicator:
         self.buddy = new
         self.gen += 1
         self.acked_seqno = -1  # nothing buddy-held until the new sync acks
+        self._commit_sent.clear()  # stale-gen sends will never be acked
         if old is not None and self.cluster.hosts[old].live:
             self._send(
                 ReplicaUpdate(kind="drop", protected=self.pid, gen=self.gen),
@@ -297,6 +303,9 @@ class Replicator:
             )
         )
         self.ft._probe("repl", f"commit seqno={seqno} dst={self.buddy}")
+        # getattr: unit tests drive the replicator with a bare ft stub
+        if getattr(self.ft, "obs", None) is not None:
+            self._commit_sent[seqno] = self.ft.proc.engine.now
 
     def op(self, op: Tuple) -> None:
         """Mirror one incremental log event."""
@@ -319,6 +328,17 @@ class Replicator:
         if msg.seqno > self.acked_seqno:
             self.acked_seqno = msg.seqno
             self.ft._probe("repl", f"ack seqno={msg.seqno}")
+            obs = getattr(self.ft, "obs", None)
+            if obs is not None and self._commit_sent:
+                # acks are cumulative: this one covers every commit sent
+                # at or before msg.seqno (same-gen, so times are valid)
+                now = self.ft.proc.engine.now
+                for seqno in sorted(self._commit_sent):
+                    if seqno > msg.seqno:
+                        break
+                    obs.on_replica_ack(
+                        self.pid, now - self._commit_sent.pop(seqno)
+                    )
 
     @property
     def lag(self) -> int:

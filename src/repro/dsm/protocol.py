@@ -400,6 +400,7 @@ class DsmProcess:
         self.cpu.stats.add(TimeBucket.PAGE_WAIT, wait)
         if self.obs is not None:
             self.obs.fetch_wait.observe(wait)
+            self.obs.fetch_lat.observe(wait)
         # install the page
         buf = self.page_bytes(page)
         buf[:] = np.frombuffer(reply.data, dtype=np.uint8)
@@ -527,6 +528,7 @@ class DsmProcess:
         self.cpu.stats.add(TimeBucket.LOCK_WAIT, wait)
         if self.obs is not None:
             self.obs.lock_wait.observe(wait)
+            self.obs.lock_lat.observe(wait)
         self._complete_acquire(lock_id, grant, local=False)
         yield from self.cpu.charge(
             TimeBucket.OVERHEAD,
@@ -682,6 +684,7 @@ class DsmProcess:
         self.cpu.stats.add(TimeBucket.BARRIER_WAIT, wait)
         if self.obs is not None:
             self.obs.barrier_wait.observe(wait)
+            self.obs.barrier_lat.observe(wait)
         self._complete_barrier(release)
         yield from self.cpu.charge(
             TimeBucket.OVERHEAD,

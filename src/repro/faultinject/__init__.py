@@ -12,19 +12,25 @@ divergence, hangs and leaked messages are campaign failures.
 """
 
 from repro.faultinject.campaign import (
+    SWEEP_SCHEMA,
     CrashPoint,
     CrashSweep,
     OracleViolation,
     PointResult,
     SweepSummary,
     check_oracle,
+    load_sweep,
+    recovery_distributions,
 )
 
 __all__ = [
+    "SWEEP_SCHEMA",
     "CrashPoint",
     "CrashSweep",
     "OracleViolation",
     "PointResult",
     "SweepSummary",
     "check_oracle",
+    "load_sweep",
+    "recovery_distributions",
 ]

@@ -41,17 +41,29 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.core.recovery import OverlappingFailureError
+from repro.observe.latency import exact_percentile
 from repro.sim.trace import Tracer
 
 __all__ = [
     "CLASSES",
+    "SWEEP_SCHEMA",
     "CrashPoint",
     "PointResult",
     "SweepSummary",
     "OracleViolation",
     "CrashSweep",
     "check_oracle",
+    "load_sweep",
+    "recovery_distributions",
 ]
+
+#: sweep JSON schema: 1 = no ``schema`` key, points carry outcome
+#: counters only; 2 adds per-point ``recovery_phases`` (one record per
+#: completed recovery: detect/restore/handshake/replay/resume/total
+#: durations plus replica-fetch counters) and the aggregated
+#: ``recovery_by_class`` distributions. Readers accept both via
+#: :func:`load_sweep`.
+SWEEP_SCHEMA = 2
 
 CLASSES = (
     "every", "lock", "barrier", "ckpt_write", "recovery", "double", "repl",
@@ -102,6 +114,10 @@ class PointResult:
     crashes: int = 0
     recoveries: int = 0
     error: Optional[str] = None
+    #: one record per *completed* recovery in the injected run (from
+    #: ``host.recovery_phases``, tagged with ``pid``); recoveries cut
+    #: short by an overlapping kill leave no record
+    recovery_phases: List[Dict[str, float]] = field(default_factory=list)
 
 
 @dataclass
@@ -134,9 +150,19 @@ class SweepSummary:
                 return False
         return True
 
+    def recovery_by_class(self) -> Dict[str, Dict[str, Any]]:
+        return recovery_distributions(
+            [
+                (r.point.cls, rec)
+                for r in self.results
+                for rec in r.recovery_phases
+            ]
+        )
+
     def to_dict(self, **meta: Any) -> Dict[str, Any]:
         return {
             **meta,
+            "schema": SWEEP_SCHEMA,
             "every": self.every,
             "faults": self.faults,
             "classes": list(self.classes),
@@ -148,6 +174,7 @@ class SweepSummary:
             "outcomes": self.outcomes(),
             "ok": self.ok,
             "notes": self.notes,
+            "recovery_by_class": self.recovery_by_class(),
             "points": [
                 {
                     "class": r.point.cls,
@@ -158,6 +185,7 @@ class SweepSummary:
                     "crashes": r.crashes,
                     "recoveries": r.recoveries,
                     "error": r.error,
+                    "recovery_phases": r.recovery_phases,
                 }
                 for r in self.results
             ],
@@ -190,7 +218,103 @@ class SweepSummary:
             f"{'total':<12} {len(self.results):>6}   "
             + ("SWEEP OK" if self.ok else "SWEEP FAILED")
         )
+        by_class = self.recovery_by_class()
+        if by_class:
+            lines.append("")
+            lines.append(render_recovery_by_class(by_class))
         return "\n".join(lines)
+
+
+#: phases of one recovery, in execution order (the keys every
+#: ``recovery_phases`` record carries alongside ``total``)
+RECOVERY_PHASES = ("detect", "restore", "handshake", "replay", "resume")
+
+#: percentiles reported for per-class recovery-time distributions (small
+#: populations, so these are *exact* sorted-list percentiles at rank
+#: ``ceil(p/100*n)``, not log-bucket estimates)
+_SWEEP_PCTS = (50.0, 90.0, 99.0)
+
+
+def recovery_distributions(
+    tagged: List[Tuple[str, Dict[str, float]]]
+) -> Dict[str, Dict[str, Any]]:
+    """Per-crash-class recovery-time distributions from ``(class,
+    phase-record)`` pairs.
+
+    For each class: count, mean/exact-percentiles/max of the end-to-end
+    ``total``, plus the mean duration of each recovery phase — the
+    anatomy of where recovery time goes under that failure mode.
+    """
+    per_class: Dict[str, List[Dict[str, float]]] = {}
+    for cls, rec in tagged:
+        per_class.setdefault(cls, []).append(rec)
+    out: Dict[str, Dict[str, Any]] = {}
+    for cls, recs in sorted(per_class.items()):
+        totals = [r["total"] for r in recs]
+        n = len(totals)
+        out[cls] = {
+            "count": n,
+            "mean_total_s": sum(totals) / n,
+            "max_total_s": max(totals),
+            **{
+                f"p{p:g}_total_s".replace(".", ""): exact_percentile(totals, p)
+                for p in _SWEEP_PCTS
+            },
+            "phase_means_s": {
+                ph: sum(r.get(ph, 0.0) for r in recs) / n
+                for ph in RECOVERY_PHASES
+            },
+            "mean_replica_fetches": (
+                sum(r.get("replica_fetches", 0) for r in recs) / n
+            ),
+        }
+    return out
+
+
+def render_recovery_by_class(by_class: Dict[str, Dict[str, Any]]) -> str:
+    """ASCII table of per-class recovery-time distributions."""
+    lines = [
+        "recovery time by crash class (ms of virtual time)",
+        f"{'class':<12} {'recs':>5} {'mean':>8} {'p50':>8} {'p90':>8} "
+        f"{'p99':>8} {'max':>8}  dominant phase",
+    ]
+    for cls, d in sorted(by_class.items()):
+        means = d.get("phase_means_s", {})
+        dominant = max(means, key=means.get) if means else "-"
+        ms = 1e3
+        lines.append(
+            f"{cls:<12} {d['count']:>5} {d['mean_total_s'] * ms:>8.3f} "
+            f"{d['p50_total_s'] * ms:>8.3f} {d['p90_total_s'] * ms:>8.3f} "
+            f"{d['p99_total_s'] * ms:>8.3f} {d['max_total_s'] * ms:>8.3f}  "
+            f"{dominant}"
+        )
+    return "\n".join(lines)
+
+
+def load_sweep(source: Any) -> Dict[str, Any]:
+    """Load a sweep JSON artifact, normalizing schema v1 to v2.
+
+    ``source`` is a path or an already-parsed dict. v1 artifacts (no
+    ``schema`` key — e.g. the committed ``SWEEP_counter*.json``
+    fixtures) gain ``schema: 1`` left as-is for provenance plus empty
+    ``recovery_phases``/``recovery_by_class`` fields, so readers can
+    treat every sweep uniformly. v2 artifacts pass through unchanged.
+    """
+    if isinstance(source, dict):
+        data = source
+    else:
+        with open(source) as fh:
+            data = json.load(fh)
+    if not isinstance(data, dict) or "points" not in data:
+        raise ValueError("not a sweep artifact: missing 'points'")
+    schema = data.get("schema", 1)
+    if schema not in (1, SWEEP_SCHEMA):
+        raise ValueError(f"unsupported sweep schema {schema!r}")
+    data.setdefault("schema", 1)
+    data.setdefault("recovery_by_class", {})
+    for pt in data["points"]:
+        pt.setdefault("recovery_phases", [])
+    return data
 
 
 # ======================================================================
@@ -522,6 +646,16 @@ class CrashSweep:
     # ------------------------------------------------------------------
     # injection
     # ------------------------------------------------------------------
+    @staticmethod
+    def _collect_phases(cluster: Any) -> List[Dict[str, float]]:
+        """Every completed recovery's phase record, tagged with its pid
+        (recoveries cut short by a second kill leave no record)."""
+        return [
+            dict(rec, pid=host.pid)
+            for host in cluster.hosts
+            for rec in host.recovery_phases
+        ]
+
     def run_point(self, point: CrashPoint) -> PointResult:
         cluster = self.cluster_factory()
         monitor = self._attach_monitor(cluster)
@@ -541,6 +675,7 @@ class CrashSweep:
                 crashes=cluster.crashes,
                 recoveries=cluster.recoveries,
                 error=str(exc),
+                recovery_phases=self._collect_phases(cluster),
             )
         except Exception as exc:  # deadlock / protocol invariant / oracle
             error = f"{type(exc).__name__}: {exc}"
@@ -555,7 +690,9 @@ class CrashSweep:
                 crashes=cluster.crashes,
                 recoveries=cluster.recoveries,
                 error=error,
+                recovery_phases=self._collect_phases(cluster),
             )
+        phases = self._collect_phases(cluster)
         if monitor is not None and monitor.finish():
             return PointResult(
                 point,
@@ -564,6 +701,7 @@ class CrashSweep:
                 recoveries=result.recoveries,
                 error="invariant violations: "
                 + "; ".join(v.render() for v in monitor.violations[:3]),
+                recovery_phases=phases,
             )
         try:
             check_oracle(cluster, self.reference_snapshots)
@@ -574,12 +712,17 @@ class CrashSweep:
                 crashes=result.crashes,
                 recoveries=result.recoveries,
                 error=str(exc),
+                recovery_phases=phases,
             )
         outcome = (
             "recovered" if result.crashes >= expected_crashes else "no_crash"
         )
         return PointResult(
-            point, outcome, crashes=result.crashes, recoveries=result.recoveries
+            point,
+            outcome,
+            crashes=result.crashes,
+            recoveries=result.recoveries,
+            recovery_phases=phases,
         )
 
     # ------------------------------------------------------------------

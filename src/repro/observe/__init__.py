@@ -22,6 +22,7 @@ from repro.observe.invariants import (
     validate_flight_record,
     write_flight_record,
 )
+from repro.observe.latency import LatencyHistogram, exact_percentile
 from repro.observe.observer import ClusterObserver, NodeProbe
 from repro.observe.registry import (
     CLUSTER_NODE,
@@ -31,8 +32,10 @@ from repro.observe.registry import (
     MetricsRegistry,
 )
 from repro.observe.report import (
+    KEY_LATENCIES,
     KEY_SERIES,
     build_report,
+    latency_table,
     load_jsonl,
     render_report,
     validate_report,
@@ -63,7 +66,9 @@ __all__ = [
     "Histogram",
     "INVARIANTS",
     "InvariantMonitor",
+    "KEY_LATENCIES",
     "KEY_SERIES",
+    "LatencyHistogram",
     "MetricsRegistry",
     "NodeProbe",
     "Span",
@@ -71,6 +76,8 @@ __all__ = [
     "Violation",
     "build_report",
     "compute_critical_path",
+    "exact_percentile",
+    "latency_table",
     "load_jsonl",
     "node_time_totals",
     "per_cause_totals",

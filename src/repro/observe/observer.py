@@ -45,7 +45,8 @@ class NodeProbe:
     check.
     """
 
-    __slots__ = ("pid", "observer", "fetch_wait", "lock_wait", "barrier_wait")
+    __slots__ = ("pid", "observer", "fetch_wait", "lock_wait", "barrier_wait",
+                 "fetch_lat", "lock_lat", "barrier_lat")
 
     def __init__(self, observer: "ClusterObserver", pid: int) -> None:
         self.pid = pid
@@ -54,6 +55,11 @@ class NodeProbe:
         self.fetch_wait = reg.histogram("dsm.fetch_wait_s", pid)
         self.lock_wait = reg.histogram("dsm.lock_wait_s", pid)
         self.barrier_wait = reg.histogram("dsm.barrier_wait_s", pid)
+        # log-bucketed percentile distributions (DESIGN.md §12) fed from
+        # the same protocol sites as the fixed-bucket wait histograms
+        self.fetch_lat = reg.latency("lat.fetch", pid)
+        self.lock_lat = reg.latency("lat.acquire", pid)
+        self.barrier_lat = reg.latency("lat.barrier", pid)
 
     def on_barrier(self, episode: int) -> None:
         self.observer.on_barrier(episode)
@@ -235,6 +241,29 @@ class ClusterObserver:
         self.registry.record("ft.log_disk_bytes", pid, ckpt_no, disk_log_bytes)
         self.registry.record(
             "ft.ckpt_times", pid, self.cluster.engine.now, ckpt_no
+        )
+
+    def on_ckpt_write(self, pid: int, duration_s: float) -> None:
+        """One checkpoint's write+commit duration (stage → commit marker)."""
+        self.registry.latency("lat.ckpt", pid).observe(duration_s)
+
+    def on_replica_ack(self, pid: int, lag_s: float) -> None:
+        """Replica transfer/ack lag: checkpoint commit send → buddy ack."""
+        self.registry.latency("lat.replica_ack", pid).observe(lag_s)
+
+    def on_recovery_phases(self, pid: int, rec: Dict[str, float]) -> None:
+        """One completed recovery's phase anatomy (DESIGN.md §12).
+
+        ``rec`` is the per-incarnation record appended to
+        ``host.recovery_phases`` by the recovery manager: end-to-end
+        duration plus detection/restore/handshake/replay phases.
+        """
+        reg = self.registry
+        reg.latency("lat.recovery", pid).observe(rec["total"])
+        for phase in ("detect", "restore", "handshake", "replay"):
+            reg.latency(f"lat.recovery.{phase}", pid).observe(rec[phase])
+        reg.record(
+            "ft.recovery_total_s", pid, self.cluster.engine.now, rec["total"]
         )
 
     def on_llt(self, pid: int, trimmed: Dict[str, int]) -> None:

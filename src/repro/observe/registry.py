@@ -20,6 +20,12 @@ The registry is the single collection point of the observability layer
     fixed bucket bounds plus count/sum/min/max. Histograms are exported
     in the run-report summary rather than sampled over time.
 
+``LatencyHistogram``
+    A log-bucketed percentile distribution (DESIGN.md §12): deterministic
+    bucket placement, bounded-relative-error p50/p90/p99/p999, and
+    elementwise-mergeable counts so per-node distributions roll up into
+    cluster-wide ones. Created through :meth:`MetricsRegistry.latency`.
+
 Determinism guarantee
 ---------------------
 Every registry operation only *reads* simulation state or mutates
@@ -40,10 +46,13 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.observe.latency import LatencyHistogram
+
 __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "LatencyHistogram",
     "MetricsRegistry",
     "DEFAULT_LATENCY_BUCKETS",
 ]
@@ -163,10 +172,18 @@ class _NullHistogram(Histogram):
         pass
 
 
+class _NullLatency(LatencyHistogram):
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:  # noqa: ARG002
+        pass
+
+
 #: shared no-op instances handed out by a disabled registry
 NULL_COUNTER = _NullCounter("null", -1)
 NULL_GAUGE = _NullGauge("null", -1)
 NULL_HISTOGRAM = _NullHistogram("null", -1, bounds=())
+NULL_LATENCY = _NullLatency("null", -1)
 
 #: node id used for cluster-wide (not per-process) metrics
 CLUSTER_NODE = -1
@@ -188,6 +205,7 @@ class MetricsRegistry:
         self._counters: Dict[Tuple[str, int], Counter] = {}
         self._gauges: Dict[Tuple[str, int], Gauge] = {}
         self._histograms: Dict[Tuple[str, int], Histogram] = {}
+        self._latencies: Dict[Tuple[str, int], LatencyHistogram] = {}
         self.series: Dict[Tuple[str, int], List[Tuple[float, float]]] = {}
         self.samples_taken = 0
 
@@ -233,6 +251,16 @@ class MetricsRegistry:
             h = self._histograms[key] = Histogram(name, node, bounds)
         return h
 
+    def latency(self, name: str, node: int = CLUSTER_NODE) -> LatencyHistogram:
+        """Log-bucketed percentile distribution (interned by (name, node))."""
+        if not self.enabled:
+            return NULL_LATENCY
+        key = (name, node)
+        h = self._latencies.get(key)
+        if h is None:
+            h = self._latencies[key] = LatencyHistogram(name, node)
+        return h
+
     # ------------------------------------------------------------------
     # series
     # ------------------------------------------------------------------
@@ -258,7 +286,8 @@ class MetricsRegistry:
     # ------------------------------------------------------------------
     def names(self) -> List[str]:
         keys = set(self.series)
-        keys.update(self._counters, self._gauges, self._histograms)
+        keys.update(self._counters, self._gauges, self._histograms,
+                    self._latencies)
         return sorted({name for name, _ in keys})
 
     def series_by_name(self, name: str) -> Dict[int, List[Tuple[float, float]]]:
@@ -281,3 +310,22 @@ class MetricsRegistry:
 
     def histogram_names(self) -> List[str]:
         return sorted({name for name, _ in self._histograms})
+
+    def latencies_by_name(self, name: str) -> Dict[int, LatencyHistogram]:
+        return {
+            node: h
+            for (n, node), h in sorted(self._latencies.items())
+            if n == name
+        }
+
+    def latency_names(self) -> List[str]:
+        return sorted({name for name, _ in self._latencies})
+
+    def merged_latency(self, name: str) -> Optional[LatencyHistogram]:
+        """All nodes' distributions under ``name`` merged into one
+        cluster-wide histogram (:data:`CLUSTER_NODE`); None if absent."""
+        parts = self.latencies_by_name(name).values()
+        return (
+            LatencyHistogram.merged(parts, name=name, node=CLUSTER_NODE)
+            if parts else None
+        )

@@ -8,7 +8,14 @@ line — so CI can parse it with nothing but ``json.loads``:
 * ``{"record": "header", ...}``   — run metadata (first line)
 * ``{"record": "series", ...}``   — one per (metric, node) series
 * ``{"record": "hist", ...}``     — one per (metric, node) histogram
+* ``{"record": "lat", ...}``      — one per (op class, node) percentile
+  distribution, plus one cluster-merged record per op class
+  (``node = -1``); carries both summary percentiles and the raw log
+  buckets so readers can re-merge across runs (schema 2)
 * ``{"record": "summary", ...}``  — end-of-run totals (last line)
+
+Schema history: 1 = header/series/hist/summary; 2 adds ``lat`` records
+(DESIGN.md §12). Readers accept both.
 
 Rendering reuses the repo's ASCII reporting layer
 (:mod:`repro.metrics.report`), so Figure 4-style curves and overview
@@ -20,7 +27,13 @@ from __future__ import annotations
 import json
 from typing import Any, Dict, List, Tuple
 
-from repro.render import Table, ascii_series, format_bytes
+from repro.render import (
+    Table,
+    ascii_histogram,
+    ascii_series,
+    format_bytes,
+    format_duration,
+)
 from repro.observe.registry import CLUSTER_NODE, MetricsRegistry
 
 __all__ = [
@@ -29,7 +42,9 @@ __all__ = [
     "load_jsonl",
     "validate_report",
     "render_report",
+    "latency_table",
     "KEY_SERIES",
+    "KEY_LATENCIES",
 ]
 
 #: series a healthy FT run report must contain (CI smoke asserts these):
@@ -46,6 +61,16 @@ KEY_SERIES = (
     "ft.replica_bytes",
     "ft.replica_lag",
 )
+
+#: latency op classes a schema-2 report must carry records for (the
+#: NodeProbe pre-creates these three, so they exist — possibly with
+#: count 0 — in every observed run; ckpt/replica/recovery classes appear
+#: only when the corresponding events happened)
+KEY_LATENCIES = ("lat.fetch", "lat.acquire", "lat.barrier")
+
+#: fields every ``lat`` record must carry to be renderable/mergeable
+_LAT_FIELDS = ("metric", "node", "count", "p50", "p90", "p99", "p999",
+               "max", "base", "growth", "buckets")
 
 
 def build_report(
@@ -79,6 +104,24 @@ def build_report(
                     **h.summary(),
                 }
             )
+    lats = []
+    for name in registry.latency_names():
+        per_node = registry.latencies_by_name(name)
+        for node, h in per_node.items():
+            lats.append(
+                {"record": "lat", "metric": name, "node": node, **h.to_dict()}
+            )
+        if CLUSTER_NODE not in per_node:
+            merged = registry.merged_latency(name)
+            if merged is not None:
+                lats.append(
+                    {
+                        "record": "lat",
+                        "metric": name,
+                        "node": CLUSTER_NODE,
+                        **merged.to_dict(),
+                    }
+                )
     summary: Dict[str, Any] = {"record": "summary", "samples": registry.samples_taken}
     if result is not None:
         summary.update(
@@ -93,9 +136,10 @@ def build_report(
             ),
         )
     return {
-        "header": {"record": "header", "schema": 1, **meta},
+        "header": {"record": "header", "schema": 2, **meta},
         "series": series,
         "hists": hists,
+        "lats": lats,
         "summary": summary,
     }
 
@@ -107,12 +151,16 @@ def write_jsonl(path: str, report: Dict[str, Any]) -> None:
             fh.write(json.dumps(rec, sort_keys=True) + "\n")
         for rec in report["hists"]:
             fh.write(json.dumps(rec, sort_keys=True) + "\n")
+        for rec in report.get("lats", ()):
+            fh.write(json.dumps(rec, sort_keys=True) + "\n")
         fh.write(json.dumps(report["summary"], sort_keys=True) + "\n")
 
 
 def load_jsonl(path: str) -> Dict[str, Any]:
-    """Parse a JSONL run report back into the structured form."""
-    out: Dict[str, Any] = {"header": None, "series": [], "hists": [], "summary": None}
+    """Parse a JSONL run report (schema 1 or 2) into the structured form."""
+    out: Dict[str, Any] = {
+        "header": None, "series": [], "hists": [], "lats": [], "summary": None,
+    }
     with open(path, "r", encoding="utf-8") as fh:
         for line in fh:
             line = line.strip()
@@ -126,6 +174,8 @@ def load_jsonl(path: str) -> Dict[str, Any]:
                 out["series"].append(rec)
             elif kind == "hist":
                 out["hists"].append(rec)
+            elif kind == "lat":
+                out["lats"].append(rec)
             elif kind == "summary":
                 out["summary"] = rec
             else:
@@ -158,12 +208,79 @@ def validate_report(report: Dict[str, Any], require_ft: bool = True) -> List[str
             continue
         if all(not rec["points"] for rec in recs):
             errors.append(f"key series {name!r} is empty on every node")
+    schema = (report.get("header") or {}).get("schema", 1)
+    if schema >= 2:
+        lat_metrics = set()
+        for i, rec in enumerate(report.get("lats", ())):
+            missing = [f for f in _LAT_FIELDS if f not in rec]
+            if missing:
+                errors.append(f"lat record {i} missing fields {missing}")
+                continue
+            lat_metrics.add(rec["metric"])
+        for name in KEY_LATENCIES:
+            if name not in lat_metrics:
+                errors.append(f"missing latency op class {name!r}")
     return errors
 
 
 # ---------------------------------------------------------------------------
 # rendering
 # ---------------------------------------------------------------------------
+def latency_table(
+    lats: List[Dict[str, Any]], title: str = "latency percentiles (virtual time)"
+) -> Table:
+    """The run report's tail-latency table from ``lat`` records.
+
+    One row per (op class, node) with observations, ordered cluster-
+    merged row first per class; shared with the analytics dashboard.
+    """
+    table = Table(
+        title,
+        ["op class", "node", "count", "p50", "p90", "p99", "p999", "max"],
+        note="cluster rows merge every node's log-bucket histogram; "
+        "estimates carry the engine's documented relative-error bound",
+    )
+    ordered = sorted(
+        (rec for rec in lats if rec.get("count")),
+        key=lambda r: (r["metric"], r["node"] != CLUSTER_NODE, r["node"]),
+    )
+    for rec in ordered:
+        node = "cluster" if rec["node"] == CLUSTER_NODE else f"p{rec['node']}"
+        table.add(
+            rec["metric"],
+            node,
+            rec["count"],
+            *(format_duration(rec[k]) for k in ("p50", "p90", "p99", "p999",
+                                                "max")),
+        )
+    return table
+
+
+def _latency_sections(report: Dict[str, Any]) -> List[str]:
+    lats = report.get("lats") or []
+    if not any(rec.get("count") for rec in lats):
+        return []
+    parts = [latency_table(lats).render()]
+    # one distribution chart for the busiest op class (cluster-merged)
+    merged = [r for r in lats if r["node"] == CLUSTER_NODE and r.get("count")]
+    if merged:
+        busiest = max(merged, key=lambda r: r["count"])
+        buckets = [
+            (format_duration(busiest["base"] * busiest["growth"] ** i), c)
+            for i, c in busiest.get("buckets", ())
+        ]
+        if busiest.get("zero"):
+            buckets.insert(0, ("0", busiest["zero"]))
+        parts.append(
+            ascii_histogram(
+                f"{busiest['metric']} distribution (cluster, "
+                f"{busiest['count']} ops)",
+                buckets,
+            )
+        )
+    return parts
+
+
 def _node_series(
     report: Dict[str, Any], metric: str
 ) -> Dict[str, List[Tuple[float, float]]]:
@@ -233,6 +350,8 @@ def render_report(report: Dict[str, Any]) -> str:
             parts.append(
                 ascii_series(chart_title, series, xlabel=xlabel, ylabel=ylabel)
             )
+
+    parts.extend(_latency_sections(report))
 
     if report["hists"]:
         waits = Table(

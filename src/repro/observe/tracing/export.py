@@ -44,7 +44,7 @@ _SCALE = 1e6  # virtual seconds -> trace microseconds
 def _tid_for(kind: str) -> int:
     if kind in WAIT_KINDS:
         return TID_WAITS
-    if kind in ("ckpt_write", "recovery", "repl"):
+    if kind in ("ckpt_write", "recovery", "rphase", "repl"):
         return TID_PROBES
     return TID_OPS
 

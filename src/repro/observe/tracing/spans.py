@@ -82,6 +82,7 @@ OP_KINDS = (
     "ckpt",
     "ckpt_write",
     "recovery",
+    "rphase",
     "repl",
 )
 
@@ -548,6 +549,18 @@ class SpanTracer:
                 span = self._innermost(pid, ("recovery",))
                 if span is not None:
                     span.detail += f"; {detail}"
+        elif kind == "rphase":
+            # recovery-phase anatomy (DESIGN.md §12): restore/handshake/
+            # replay child spans nested under the open recovery span
+            # (detection elapses while the node is down, so it has no
+            # span of its own — the critical path attributes it from
+            # the crash point instead)
+            if detail.endswith("begin"):
+                self._open_span(pid, "rphase", detail.split()[0])
+            else:
+                span = self._innermost(pid, ("rphase",))
+                if span is not None:
+                    self._close_span(span)
         elif kind == "repl":
             # replication tier: begin/commit bracket one checkpoint's
             # buddy transfer (overlapping the ckpt_write span); a fetch

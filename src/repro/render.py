@@ -16,7 +16,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-__all__ = ["Table", "ascii_series", "format_bytes", "format_pct"]
+__all__ = [
+    "Table", "ascii_histogram", "ascii_series", "format_bytes", "format_pct",
+    "format_duration",
+]
 
 
 def format_bytes(n: float) -> str:
@@ -33,6 +36,20 @@ def format_bytes(n: float) -> str:
     if a >= 1e3:
         return f"{sign}{a / 1e3:.1f} KB"
     return f"{sign}{int(a)} B"
+
+
+def format_duration(seconds: float) -> str:
+    """Human-readable virtual-time durations (ns/us/ms/s)."""
+    a = abs(seconds)
+    if a >= 1.0:
+        return f"{seconds:.3f} s"
+    if a >= 1e-3:
+        return f"{seconds * 1e3:.3f} ms"
+    if a >= 1e-6:
+        return f"{seconds * 1e6:.1f} us"
+    if a > 0:
+        return f"{seconds * 1e9:.0f} ns"
+    return "0"
 
 
 def format_pct(x: float) -> str:
@@ -87,6 +104,50 @@ class Table:
 
     def __str__(self) -> str:  # pragma: no cover - convenience
         return self.render()
+
+
+def ascii_histogram(
+    title: str,
+    buckets: Sequence[Tuple[str, float]],
+    width: int = 40,
+) -> str:
+    """Render labelled bucket counts as a horizontal ASCII bar chart.
+
+    ``buckets`` is ``[(label, count), ...]``. Degenerate distributions
+    get a centered placeholder instead of a degenerate axis (same
+    discipline as :func:`ascii_series` for flat series): an empty (or
+    all-zero) histogram renders ``(no samples)`` centered in the bar
+    area, and a single-occupied-bucket distribution renders its one bar
+    centered rather than pinned against a meaningless scale.
+    """
+    lines = [title, "=" * len(title)]
+    label_w = max((len(lbl) for lbl, _ in buckets), default=0)
+    occupied = [(lbl, c) for lbl, c in buckets if c > 0]
+    if not occupied:
+        pad = max(0, (label_w + 3 + width - len("(no samples)")) // 2)
+        lines.append(" " * pad + "(no samples)")
+        return "\n".join(lines)
+    if len(occupied) == 1:
+        lbl, count = occupied[0]
+        bar = "#" * min(width, max(1, width // 2))
+        pad = max(0, (width - len(bar)) // 2)
+        lines.append(
+            f"{lbl.rjust(label_w)} |" + " " * pad + bar + f"  {int(count)}"
+        )
+        lines.append(f"{'':>{label_w}} (single-bucket distribution)")
+        return "\n".join(lines)
+    peak = max(c for _, c in occupied)
+    for lbl, count in buckets:
+        bar = "#" * int(round(count / peak * width)) if count else ""
+        if count and not bar:
+            bar = "#"  # nonzero counts always show at least one mark
+        lines.append(
+            (
+                f"{lbl.rjust(label_w)} |{bar.ljust(width)}  "
+                + (str(int(count)) if count else "")
+            ).rstrip()
+        )
+    return "\n".join(lines)
 
 
 def ascii_series(

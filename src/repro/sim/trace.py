@@ -60,6 +60,7 @@ class Tracer:
         "ckpt",
         "ckpt_write",
         "recovery",
+        "rphase",
         "repl",
         "failure",
     }

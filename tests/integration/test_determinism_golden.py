@@ -160,6 +160,14 @@ def test_golden_unchanged_with_sampling_enabled():
     # and the observer did actually observe
     assert observer.registry.samples_taken > 10
     assert observer.registry.series_by_name("ft.log_volatile_bytes")
+    # the latency engine collected through the same run without moving
+    # a single pin: per-op percentile distributions are populated for
+    # every key op class, and merging them is pure post-processing
+    for name in ("lat.fetch", "lat.acquire", "lat.barrier", "lat.ckpt"):
+        merged = observer.registry.merged_latency(name)
+        assert merged is not None and merged.count > 0, name
+        assert merged.percentile(99.0) >= merged.percentile(50.0)
+    assert observer.registry.merged_latency("lat.ckpt").min > 0.0
 
 
 def test_golden_unchanged_with_span_tracing_enabled():

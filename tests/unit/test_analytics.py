@@ -1,0 +1,222 @@
+"""Unit tests for the cross-artifact analytics aggregator and the
+``repro report`` dashboard (sniffing, validation, bench trends,
+regression/malformed exit discipline, HTML output, sweep back-compat).
+"""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.faultinject import SWEEP_SCHEMA, load_sweep, recovery_distributions
+from repro.observe import (
+    ClusterObserver,
+    MetricsRegistry,
+    build_report,
+    write_jsonl,
+)
+from repro.observe.analytics import (
+    build_dashboard,
+    discover_artifacts,
+    load_artifact,
+    render_dashboard,
+    render_html,
+    sniff_kind,
+)
+
+from tests.conftest import make_app, make_cluster
+
+BENCH = {
+    "before": {"suite": "core", "events_per_sec": 100_000,
+               "benches": [{"name": "a", "events_per_sec": 1000,
+                            "ops_per_sec": 0}]},
+    "after": {"suite": "core", "events_per_sec": 104_000,
+              "benches": [{"name": "a", "events_per_sec": 900,
+                           "ops_per_sec": 0}]},
+    "speedup_events_per_sec": 1.04,
+    "recorded": "2026-08-08",
+}
+
+
+def observe_artifact(tmp_path, name="OBSERVE_counter.jsonl"):
+    cluster = make_cluster(num_procs=4, ft=True)
+    obs = ClusterObserver(cluster, interval=1e-3)
+    result = cluster.run(make_app("counter"))
+    obs.sample()
+    report = build_report(
+        obs.registry, {"app": "counter", "ft": True}, result=result
+    )
+    path = tmp_path / name
+    write_jsonl(str(path), report)
+    return path
+
+
+# ---------------------------------------------------------------------------
+# sniffing and discovery
+# ---------------------------------------------------------------------------
+def test_sniff_kind_by_prefix_and_content():
+    assert sniff_kind("benchmarks/OBSERVE_lu.jsonl") == "observe"
+    assert sniff_kind("x/TRACE_counter.json") == "trace"
+    assert sniff_kind("SWEEP_counter_k2.json") == "sweep"
+    assert sniff_kind("BENCH_core.json") == "bench"
+    assert sniff_kind("FLIGHT_counter.json") == "flight"
+    # renamed files fall back to content shape
+    assert sniff_kind("weird.json", {"traceEvents": []}) == "trace"
+    assert sniff_kind("weird.json", {"points": [], "outcomes": {}}) == "sweep"
+    assert sniff_kind("weird.json", {"before": {}, "after": {}}) == "bench"
+    assert sniff_kind("weird.json", {"violations": [], "checks": {}}) == "flight"
+    assert sniff_kind("weird.json", {"other": 1}) == "unknown"
+
+
+def test_discover_walks_directories_and_keeps_explicit_files(tmp_path):
+    (tmp_path / "BENCH_x.json").write_text(json.dumps(BENCH))
+    sub = tmp_path / "results"
+    sub.mkdir()
+    (sub / "TRACE_app.json").write_text('{"traceEvents": []}')
+    (tmp_path / "notes.txt").write_text("ignored")
+    (tmp_path / "test_foo.py").write_text("ignored")
+    found = discover_artifacts([str(tmp_path)])
+    names = [p.rsplit("/", 1)[-1] for p in found]
+    assert names == ["TRACE_app.json", "BENCH_x.json"]  # kind-major order
+    # naming a file explicitly always includes it
+    extra = tmp_path / "mystery.json"
+    extra.write_text("{}")
+    assert str(extra) in discover_artifacts([str(extra)])
+
+
+# ---------------------------------------------------------------------------
+# committed fixtures load clean (back-compat guarantee)
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "path", ["benchmarks/SWEEP_counter.json", "benchmarks/SWEEP_counter_k2.json"]
+)
+def test_committed_v1_sweeps_load_unchanged(path):
+    raw = json.load(open(path))
+    assert "schema" not in raw  # they ARE v1 — keep them that way
+    data = load_sweep(path)
+    assert data["schema"] == 1
+    assert data["recovery_by_class"] == {}
+    assert all(p["recovery_phases"] == [] for p in data["points"])
+    assert data["ok"] is True
+    art = load_artifact(path)
+    assert art.kind == "sweep" and art.ok
+
+
+def test_load_sweep_v2_roundtrip_and_unknown_schema(tmp_path):
+    data = load_sweep("benchmarks/SWEEP_counter.json")
+    data["schema"] = SWEEP_SCHEMA
+    p = tmp_path / "SWEEP_v2.json"
+    p.write_text(json.dumps(data))
+    again = load_sweep(str(p))
+    assert again["schema"] == SWEEP_SCHEMA
+    data["schema"] = 99
+    p.write_text(json.dumps(data))
+    with pytest.raises(ValueError, match="schema"):
+        load_sweep(str(p))
+
+
+def test_committed_bench_and_trace_artifacts_load():
+    for path, kind in (
+        ("benchmarks/BENCH_core.json", "bench"),
+        ("benchmarks/BENCH_scale.json", "bench"),
+        ("benchmarks/results/TRACE_counter.json", "trace"),
+    ):
+        art = load_artifact(path)
+        assert art.kind == kind and art.ok, (path, art.errors)
+
+
+# ---------------------------------------------------------------------------
+# recovery distributions
+# ---------------------------------------------------------------------------
+def test_recovery_distributions_exact_percentiles():
+    recs = [
+        ("lock", {"total": t, "detect": 0.05, "restore": 0.01,
+                  "handshake": 0.001, "replay": t - 0.061, "resume": 0.0})
+        for t in (0.1, 0.2, 0.3, 0.4)
+    ]
+    out = recovery_distributions(recs)
+    d = out["lock"]
+    assert d["count"] == 4
+    assert d["p50_total_s"] == 0.2  # rank ceil(0.5*4)=2
+    assert d["p90_total_s"] == 0.4
+    assert d["max_total_s"] == 0.4
+    assert d["phase_means_s"]["detect"] == pytest.approx(0.05)
+    assert d["mean_total_s"] == pytest.approx(0.25)
+
+
+# ---------------------------------------------------------------------------
+# dashboard + exit discipline
+# ---------------------------------------------------------------------------
+def test_dashboard_green_path(tmp_path):
+    observe_artifact(tmp_path)
+    (tmp_path / "BENCH_core.json").write_text(json.dumps(BENCH))
+    arts = [load_artifact(p) for p in discover_artifacts([str(tmp_path)])]
+    dash = build_dashboard(arts)
+    assert dash["ok"]
+    text = render_dashboard(dash)
+    assert "REPORT OK" in text
+    assert "tail latency by op class" in text
+    assert "lat.fetch" in text
+
+
+def test_dashboard_flags_bench_regression(tmp_path):
+    doctored = json.loads(json.dumps(BENCH))
+    doctored["before"]["events_per_sec"] = 200_000  # after drops 48%
+    (tmp_path / "BENCH_core.json").write_text(json.dumps(doctored))
+    arts = [load_artifact(str(tmp_path / "BENCH_core.json"))]
+    dash = build_dashboard(arts, threshold=0.10)
+    assert not dash["ok"]
+    assert dash["regressions"]
+    text = render_dashboard(dash)
+    assert "REGRESSED" in text and "REPORT FAILED" in text
+    # a looser threshold lets the same artifact pass
+    assert build_dashboard(arts, threshold=0.60)["ok"]
+
+
+def test_dashboard_flags_malformed_artifact(tmp_path):
+    bad = tmp_path / "SWEEP_bad.json"
+    bad.write_text('{"not": "a sweep"}')
+    dash = build_dashboard([load_artifact(str(bad))])
+    assert not dash["ok"]
+    assert "MALFORMED" in render_dashboard(dash)
+
+
+def test_dashboard_flags_flight_record(tmp_path):
+    flight = {
+        "reason": "violations", "time": 0.01, "step": 7, "violations": [],
+        "checks": {}, "nodes": [], "cluster": {}, "events": [],
+    }
+    p = tmp_path / "FLIGHT_counter.json"
+    p.write_text(json.dumps(flight))
+    dash = build_dashboard([load_artifact(str(p))])
+    # a flight record only exists because an invariant tripped
+    assert not dash["ok"]
+    assert "flight record" in render_dashboard(dash)
+
+
+def test_html_rendering_escapes_and_banners(tmp_path):
+    (tmp_path / "BENCH_core.json").write_text(json.dumps(BENCH))
+    arts = [load_artifact(p) for p in discover_artifacts([str(tmp_path)])]
+    html = render_html(build_dashboard(arts))
+    assert html.startswith("<!DOCTYPE html>")
+    assert "dashboard — ok" in html
+    assert "<pre>" in html
+
+
+def test_report_cli_exit_codes(tmp_path, capsys):
+    observe_artifact(tmp_path)
+    (tmp_path / "BENCH_core.json").write_text(json.dumps(BENCH))
+    html = tmp_path / "dash.html"
+    assert main(["report", str(tmp_path), "--html", str(html)]) == 0
+    assert html.read_text().startswith("<!DOCTYPE html>")
+    out = capsys.readouterr().out
+    assert "REPORT OK" in out and "artifact inventory" in out
+
+    doctored = json.loads(json.dumps(BENCH))
+    doctored["before"]["events_per_sec"] = 500_000
+    (tmp_path / "BENCH_core.json").write_text(json.dumps(doctored))
+    assert main(["report", str(tmp_path)]) == 1
+    # empty scan is an error, not silent success
+    empty = tmp_path / "empty"
+    empty.mkdir()
+    assert main(["report", str(empty)]) == 1

@@ -1,0 +1,211 @@
+"""Property tests for the log-bucket latency percentile engine.
+
+The engine's contract (``repro.observe.latency.engine``):
+
+* percentile estimates are within the documented relative-error bound
+  (``growth - 1``) of the exact sorted-list percentile at the same rank;
+* ``merge(h1, h2)`` is indistinguishable from a histogram built from
+  the concatenated samples;
+* counts, min/max and every percentile are exactly insertion-order
+  invariant (``sum`` is the one float-accumulation field that is not).
+
+Verified with hypothesis where available, plus seeded wide cases.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.observe.latency import (
+    DEFAULT_GROWTH,
+    PERCENTILES,
+    LatencyHistogram,
+    exact_percentile,
+)
+from repro.observe.registry import CLUSTER_NODE, NULL_LATENCY, MetricsRegistry
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+#: spans ns to ks — the full range of plausible virtual-time durations
+durations = st.floats(
+    min_value=1e-9, max_value=1e3, allow_nan=False, allow_infinity=False
+)
+samples = st.lists(durations, min_size=1, max_size=300)
+
+#: the documented relative-error bound of the bucket geometry
+REL_ERR = DEFAULT_GROWTH - 1.0
+
+
+def fill(values, name="h", node=0):
+    h = LatencyHistogram(name, node)
+    for v in values:
+        h.observe(v)
+    return h
+
+
+# ---------------------------------------------------------------------------
+# error bound vs exact percentiles
+# ---------------------------------------------------------------------------
+@given(samples)
+@settings(max_examples=200, deadline=None)
+def test_percentile_within_documented_error_of_exact(values):
+    h = fill(values)
+    for p in PERCENTILES:
+        exact = exact_percentile(values, p)
+        est = h.percentile(p)
+        assert est <= max(values)
+        assert est >= min(values)
+        # the estimate is the clamped upper bound of the exact value's
+        # bucket: never more than one bucket ratio above the exact
+        assert est >= exact * (1.0 - 1e-12)
+        assert est <= exact * (1.0 + REL_ERR) * (1.0 + 1e-9)
+
+
+def test_percentile_error_bound_seeded_wide():
+    rng = random.Random(20260808)
+    for scale in (1e-7, 1e-4, 1e-1, 10.0):
+        values = [rng.expovariate(1.0) * scale for _ in range(5000)]
+        h = fill(values)
+        for p in PERCENTILES:
+            exact = exact_percentile(values, p)
+            est = h.percentile(p)
+            assert exact * (1.0 - 1e-12) <= est
+            assert est <= exact * (1.0 + REL_ERR) * (1.0 + 1e-9)
+
+
+def test_exact_percentile_rank_rule():
+    values = [1.0, 2.0, 3.0, 4.0]
+    # rank = ceil(p/100 * n), 1-indexed
+    assert exact_percentile(values, 50.0) == 2.0
+    assert exact_percentile(values, 75.0) == 3.0
+    assert exact_percentile(values, 76.0) == 4.0
+    assert exact_percentile(values, 99.9) == 4.0
+    assert exact_percentile([7.0], 50.0) == 7.0
+
+
+# ---------------------------------------------------------------------------
+# merge == concat
+# ---------------------------------------------------------------------------
+@given(samples, samples)
+@settings(max_examples=150, deadline=None)
+def test_merge_equals_concatenation(a, b):
+    merged = LatencyHistogram.merged([fill(a), fill(b)], name="m")
+    concat = fill(a + b, name="m")
+    assert merged.buckets == concat.buckets
+    assert merged.zero_count == concat.zero_count
+    assert merged.count == concat.count
+    assert merged.min == concat.min
+    assert merged.max == concat.max
+    for p in PERCENTILES:
+        assert merged.percentile(p) == concat.percentile(p)
+    assert merged.total == pytest.approx(concat.total)
+
+
+def test_merge_rejects_mismatched_geometry():
+    a = LatencyHistogram("a", 0)
+    b = LatencyHistogram("b", 0, growth=2.0)
+    with pytest.raises(ValueError, match="geometry"):
+        a.merge_from(b)
+
+
+# ---------------------------------------------------------------------------
+# insertion-order determinism
+# ---------------------------------------------------------------------------
+@given(samples, st.randoms(use_true_random=False))
+@settings(max_examples=150, deadline=None)
+def test_insertion_order_invariance(values, rng):
+    shuffled = list(values)
+    rng.shuffle(shuffled)
+    h1, h2 = fill(values), fill(shuffled)
+    # everything except the float-accumulated sum is exactly invariant
+    assert h1.buckets == h2.buckets
+    assert h1.count == h2.count
+    assert (h1.min, h1.max) == (h2.min, h2.max)
+    for p in PERCENTILES:
+        assert h1.percentile(p) == h2.percentile(p)
+    assert h1.total == pytest.approx(h2.total)
+
+
+def test_insertion_order_seeded_wide():
+    rng = random.Random(7)
+    values = [rng.lognormvariate(-8.0, 3.0) for _ in range(20000)]
+    h1 = fill(values)
+    backwards = fill(list(reversed(values)))
+    assert h1.buckets == backwards.buckets
+    assert [h1.percentile(p) for p in PERCENTILES] == [
+        backwards.percentile(p) for p in PERCENTILES
+    ]
+
+
+# ---------------------------------------------------------------------------
+# geometry and edge cases
+# ---------------------------------------------------------------------------
+@given(durations)
+@settings(max_examples=300, deadline=None)
+def test_bucket_bounds_contain_value(v):
+    h = LatencyHistogram("h", 0)
+    i = h.bucket_index(v)
+    assert h.upper_bound(i) >= v
+    if i > 0:
+        assert h.upper_bound(i - 1) < v
+
+
+def test_zero_and_negative_samples():
+    h = LatencyHistogram("h", 0)
+    h.observe(0.0)
+    h.observe(-1.0)  # clamped: durations cannot be negative
+    h.observe(1e-4)
+    assert h.zero_count == 2
+    assert h.count == 3
+    assert h.min == 0.0
+    assert h.percentile(50.0) == 0.0
+    assert h.percentile(99.9) >= 1e-4 * (1.0 - 1e-12)
+
+
+def test_empty_histogram_summary():
+    h = LatencyHistogram("h", 0)
+    assert h.count == 0
+    assert h.percentile(50.0) == 0.0
+    d = h.to_dict()
+    assert d["count"] == 0 and d["buckets"] == []
+
+
+def test_serialization_roundtrip():
+    h = fill([1e-6, 5e-5, 5e-5, 2e-3, 0.0], name="lat.fetch", node=3)
+    again = LatencyHistogram.from_dict(h.to_dict(), name=h.name, node=h.node)
+    assert again.buckets == h.buckets
+    assert again.zero_count == h.zero_count
+    assert again.count == h.count
+    assert (again.min, again.max) == (h.min, h.max)
+    for p in PERCENTILES:
+        assert again.percentile(p) == h.percentile(p)
+
+
+# ---------------------------------------------------------------------------
+# registry integration
+# ---------------------------------------------------------------------------
+def test_registry_latency_interning_and_merge():
+    reg = MetricsRegistry()
+    a = reg.latency("lat.fetch", 0)
+    assert reg.latency("lat.fetch", 0) is a
+    b = reg.latency("lat.fetch", 1)
+    assert b is not a
+    a.observe(1e-4)
+    b.observe(2e-4)
+    merged = reg.merged_latency("lat.fetch")
+    assert merged.node == CLUSTER_NODE
+    assert merged.count == 2
+    assert "lat.fetch" in reg.latency_names()
+    assert reg.merged_latency("lat.nothing") is None
+
+
+def test_disabled_registry_returns_null_latency():
+    reg = MetricsRegistry(enabled=False)
+    h = reg.latency("lat.fetch", 0)
+    assert h is NULL_LATENCY
+    h.observe(1.0)  # no-op
+    assert h.count == 0
+    assert reg.latency_names() == []

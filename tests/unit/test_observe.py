@@ -152,6 +152,39 @@ def test_ckpts_retained_series_sampled_per_node():
     assert any(v > 1 for pts in series.values() for _, v in pts)
 
 
+def test_replica_series_sampled_per_node():
+    """The ``ft.replica_bytes``/``ft.replica_lag`` pair (KEY_SERIES for
+    replication-enabled runs) must produce per-node series: every node
+    both holds its buddy's replica bytes and reports its own replication
+    lag, and lag returns to zero once the buddy acks."""
+    from repro.core import FtConfig
+
+    cluster = make_cluster(
+        num_procs=4, ft=True, ft_config=FtConfig(replicate=True)
+    )
+    obs = ClusterObserver(cluster, interval=1e-3, sample_on_barrier=True)
+    cluster.run(make_app("counter"))
+    obs.sample()
+    for metric in ("ft.replica_bytes", "ft.replica_lag"):
+        series = obs.registry.series_by_name(metric)
+        assert sorted(series) == [0, 1, 2, 3], metric
+        for pid, points in series.items():
+            assert points, f"p{pid} sampled no {metric} points"
+    bytes_series = obs.registry.series_by_name("ft.replica_bytes")
+    # replication happened: some node held a nonempty replica
+    assert any(v > 0 for pts in bytes_series.values() for _, v in pts)
+    lag_series = obs.registry.series_by_name("ft.replica_lag")
+    for pid, pts in lag_series.items():
+        values = [v for _, v in pts]
+        # lag is a small non-negative checkpoint count that both opens
+        # (a commit starts a transfer) and drains (the buddy acks) —
+        # never monotone growth, which would mean acks are lost
+        assert all(0 <= v <= 4 for v in values), f"p{pid} lag {values}"
+        assert any(v > 0 for v in values), f"p{pid} never lagged"
+        opened = values.index(next(v for v in values if v > 0))
+        assert any(v == 0 for v in values[opened:]), f"p{pid} never drained"
+
+
 def test_disabled_registry_observer_records_nothing():
     cluster = make_cluster(num_procs=4, ft=True)
     obs = ClusterObserver(
@@ -176,15 +209,43 @@ def test_report_roundtrip_and_validation(tmp_path):
     reg.counter("dsm.diff_bytes_sent", 0).inc(2)
     reg.gauge("ft.ckpts_retained", 0, lambda: 2.0)
     reg.histogram("dsm.fetch_wait_s", 0).observe(1e-4)
+    reg.latency("lat.fetch", 0).observe(5e-5)
+    reg.latency("lat.acquire", 0).observe(2e-4)
+    reg.latency("lat.barrier", 1).observe(1e-3)
     reg.sample(0.25)
     report = build_report(reg, {"app": "unit"})
+    assert report["header"]["schema"] == 2
     assert validate_report(report) == []
+    # every op class grows a cluster-merged record alongside the
+    # per-node ones
+    merged = {r["metric"] for r in report["lats"] if r["node"] == CLUSTER_NODE}
+    assert {"lat.fetch", "lat.acquire", "lat.barrier"} <= merged
     path = tmp_path / "report.jsonl"
     write_jsonl(str(path), report)
     again = load_jsonl(str(path))
     assert again["header"]["app"] == "unit"
     assert again["series"] == report["series"]
     assert again["hists"] == report["hists"]
+    assert again["lats"] == report["lats"]
+    assert validate_report(again) == []
+
+
+def test_schema1_report_without_lat_records_still_validates(tmp_path):
+    """Old JSONL artifacts (schema 1, no ``lat`` lines) stay loadable."""
+    reg = MetricsRegistry()
+    reg.counter("ft.log_volatile_bytes", 0).inc(10)
+    reg.counter("ft.log_saved_bytes", 0).inc(4)
+    reg.counter("dsm.diff_bytes_sent", 0).inc(2)
+    reg.gauge("ft.ckpts_retained", 0, lambda: 2.0)
+    reg.sample(0.25)
+    report = build_report(reg, {"app": "unit"})
+    report["header"]["schema"] = 1
+    report["lats"] = []
+    path = tmp_path / "old.jsonl"
+    write_jsonl(str(path), report)
+    again = load_jsonl(str(path))
+    assert again["lats"] == []
+    assert validate_report(again) == []
 
 
 def test_validate_report_flags_missing_series():

@@ -2,7 +2,14 @@
 
 import pytest
 
-from repro.render import Table, ascii_series, format_bytes, format_pct
+from repro.render import (
+    Table,
+    ascii_histogram,
+    ascii_series,
+    format_bytes,
+    format_duration,
+    format_pct,
+)
 
 
 def test_format_bytes():
@@ -88,6 +95,50 @@ def test_ascii_series_single_point():
     # both ranges degenerate: the single mark is centered, not cornered
     assert grid[5 // 2][20 // 2] == "o"
     assert sum(r.count("o") for r in grid) == 1
+
+
+def test_format_duration_tiers():
+    assert format_duration(2.5) == "2.500 s"
+    assert format_duration(3.2e-3) == "3.200 ms"
+    assert format_duration(55.1e-6) == "55.1 us"
+    assert format_duration(4e-9) == "4 ns"
+    assert format_duration(0.0) == "0"
+
+
+def test_ascii_histogram_multi_bucket():
+    out = ascii_histogram(
+        "H", [("10 us", 40), ("20 us", 0), ("40 us", 4)], width=20
+    )
+    lines = out.splitlines()
+    assert lines[0] == "H"
+    # proportional bars, at least one mark for any nonzero count
+    assert "#" * 20 in out
+    assert any(l.rstrip().endswith("4") and l.count("#") == 2 for l in lines)
+    # zero-count rows draw an empty bar and no trailing spaces
+    assert all(l == l.rstrip() for l in lines)
+
+
+def test_ascii_histogram_empty_is_centered_placeholder():
+    out = ascii_histogram("H", [], width=40)
+    assert "(no samples)" in out
+    # centered in the bar area, not flush-left
+    assert out.splitlines()[-1].startswith(" ")
+    # all-zero buckets degrade identically to no buckets at all
+    zeros = ascii_histogram("H", [("a", 0), ("b", 0)], width=40)
+    assert "(no samples)" in zeros
+    assert "#" not in zeros
+
+
+def test_ascii_histogram_single_bucket_centered():
+    out = ascii_histogram("H", [("55 us", 43)], width=40)
+    lines = out.splitlines()
+    assert "(single-bucket distribution)" in out
+    bar_line = next(l for l in lines if "#" in l)
+    # the one bar is centered against the bar area, not pinned to the
+    # axis at full width
+    bar = bar_line.split("|")[1]
+    assert bar.startswith(" ") and "43" in bar_line
+    assert bar_line.count("#") < 40
 
 
 def test_metrics_report_compat_reexport():
