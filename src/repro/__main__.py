@@ -10,6 +10,8 @@ Examples::
     python -m repro crashsweep counter --every 40 --classes lock,ckpt_write
     python -m repro crashsweep counter --faults 2      # k=2, replication on
     python -m repro observe counter --procs 4 --interval 1e-3
+    python -m repro observe session --rate 4000 --slo "p99(lat.request)<5ms"
+    python -m repro observe session --crash 1@0.25 --replicate
     python -m repro trace counter --procs 4 --crash 2@0.5
     python -m repro monitor counter --procs 4 --crash 2@0.5
     python -m repro monitor counter --seed-violation cgc   # must exit 1
@@ -28,19 +30,34 @@ from repro.sim.network import MetaClusterConfig, NetworkConfig
 from repro.sim.node import TimeBucket
 
 APPS = [
-    "counter", "kvstore", "barnes", "water-nsq", "water-spatial", "lu",
-    "tables", "bench",
+    "counter", "kvstore", "session", "barnes", "water-nsq", "water-spatial",
+    "lu", "tables", "bench",
 ]
 
 
-def make_app(name: str, steps: Optional[int], size: Optional[int]) -> Any:
+def make_app(
+    name: str,
+    steps: Optional[int],
+    size: Optional[int],
+    rate: Optional[float] = None,
+) -> Any:
     from repro.apps.barnes import BarnesApp, BarnesConfig
     from repro.apps.counter import CounterApp, CounterConfig
     from repro.apps.kvstore import KvStoreApp, KvStoreConfig
     from repro.apps.lu import LuApp, LuConfig
+    from repro.apps.session import SessionApp, SessionConfig
     from repro.apps.water_nsq import WaterNsqApp, WaterNsqConfig
     from repro.apps.water_spatial import WaterSpatialApp, WaterSpatialConfig
 
+    if name == "session":
+        cfg = SessionConfig()
+        if steps:
+            cfg.steps = steps
+        if size:
+            cfg.n_keys = size
+        if rate:
+            cfg.rate = rate
+        return SessionApp(cfg)
     if name == "counter":
         cfg = CounterConfig()
         if steps:
@@ -94,6 +111,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--procs", type=int, default=8, help="cluster size (default 8)")
     p.add_argument("--steps", type=int, default=None, help="application steps")
     p.add_argument("--size", type=int, default=None, help="problem size (app-specific)")
+    p.add_argument(
+        "--rate", type=float, default=None,
+        help="open-loop arrival rate, requests per virtual second per "
+        "process (session app only)",
+    )
     p.add_argument("--ft", action="store_true", help="enable fault tolerance")
     p.add_argument(
         "--replicate", action="store_true",
@@ -205,6 +227,11 @@ def build_crashsweep_parser() -> argparse.ArgumentParser:
     p.add_argument("--procs", type=int, default=4, help="cluster size (default 4)")
     p.add_argument("--steps", type=int, default=None, help="application steps")
     p.add_argument("--size", type=int, default=None, help="problem size")
+    p.add_argument(
+        "--rate", type=float, default=None,
+        help="open-loop arrival rate, requests per virtual second per "
+        "process (session app only)",
+    )
     p.add_argument("--l", type=float, default=0.1, help="OF policy L fraction")
     p.add_argument(
         "--every", type=int, default=25,
@@ -258,7 +285,7 @@ def run_crashsweep(argv: list) -> int:
     )
     sweep = CrashSweep(
         cluster_factory=lambda: make_cluster(ns),
-        app_factory=lambda: make_app(args.app, args.steps, args.size),
+        app_factory=lambda: make_app(args.app, args.steps, args.size, args.rate),
         every=args.every,
         classes=tuple(args.classes.split(",")) if args.classes else None,
         faults=args.faults,
@@ -337,6 +364,39 @@ def build_observe_parser() -> argparse.ArgumentParser:
         "ticker, leaving barrier-episode sampling only",
     )
     p.add_argument(
+        "--window", type=float, default=1e-3, metavar="SECONDS",
+        help="windowed tail-latency collection: rotate every latency op "
+        "class into fixed virtual-time windows of this width (default "
+        "1e-3); 0 disables windowing (and SLO evaluation)",
+    )
+    p.add_argument(
+        "--rate", type=float, default=None,
+        help="open-loop arrival rate, requests per virtual second per "
+        "process (session app only)",
+    )
+    p.add_argument(
+        "--slo", action="append", default=None, metavar="SPEC",
+        help="declarative latency objective, e.g. 'p99(lat.request)<5ms' "
+        "(repeatable); evaluated with multi-window burn-rate rules over "
+        "the collected windows — any violation makes the exit code "
+        "nonzero (the CI gate)",
+    )
+    p.add_argument(
+        "--crash",
+        metavar="PID@FRAC",
+        default=None,
+        help="fail-stop PID at FRAC of the failure-free runtime (e.g. "
+        "1@0.5); the report then carries recovery records and the "
+        "degradation timeline overlays the crash marks",
+    )
+    p.add_argument(
+        "--crash2",
+        metavar="PID@FRAC",
+        default=None,
+        help="schedule a second fail-stop (overlapping failures; pair "
+        "with --replicate)",
+    )
+    p.add_argument(
         "--out", default=None, metavar="PATH",
         help="JSONL report path (default benchmarks/OBSERVE_<app>.jsonl)",
     )
@@ -347,41 +407,102 @@ def run_observe(argv: list) -> int:
     from repro.observe import (
         ClusterObserver,
         build_report,
+        evaluate_report_slos,
+        parse_slo,
         render_report,
         validate_report,
         write_jsonl,
     )
 
     args = build_observe_parser().parse_args(argv)
+    if (args.crash or args.crash2) and args.no_ft:
+        print("--crash requires fault tolerance (drop --no-ft)", file=sys.stderr)
+        return 2
+    if args.crash2 and not args.crash:
+        print("--crash2 requires --crash", file=sys.stderr)
+        return 2
+    objectives = []
+    for spec in args.slo or ():
+        try:
+            objectives.append(parse_slo(spec))
+        except ValueError as exc:
+            print(f"bad --slo: {exc}", file=sys.stderr)
+            return 2
+    if objectives and not args.window:
+        print("--slo requires windowed collection (drop --window 0)",
+              file=sys.stderr)
+        return 2
     ns = argparse.Namespace(
         procs=args.procs, ft=not args.no_ft, coordinated=False, wan=None,
         l=args.l, replicate=args.replicate and not args.no_ft,
     )
+
+    # failure-free pass to learn the runtime if a crash is requested
+    crash_specs = []
+    if args.crash:
+        golden = make_cluster(ns)
+        t_free = golden.run(
+            make_app(args.app, args.steps, args.size, args.rate)
+        ).wall_time
+        for spec in (args.crash, args.crash2):
+            if spec:
+                pid_s, frac_s = spec.split("@")
+                crash_specs.append((int(pid_s), float(frac_s) * t_free))
+
     cluster = make_cluster(ns)
     observer = ClusterObserver(
         cluster,
         interval=args.interval or None,
         sample_on_barrier=True,
+        window_s=args.window or None,
     )
+    for spec in crash_specs:
+        cluster.schedule_crash(*spec)
+
+    from repro.core.recovery import OverlappingFailureError
 
     t0 = time.time()
-    result = cluster.run(make_app(args.app, args.steps, args.size))
+    try:
+        result = cluster.run(
+            make_app(args.app, args.steps, args.size, args.rate)
+        )
+    except OverlappingFailureError as exc:
+        print(f"overlapping failures: {exc}", file=sys.stderr)
+        print("(the single-fault model cannot recover this schedule; "
+              "pair --crash2 with --replicate)", file=sys.stderr)
+        return 1
     host_s = time.time() - t0
     observer.sample()  # final snapshot at end-of-run virtual time
 
+    meta = {
+        "app": args.app,
+        "procs": args.procs,
+        "ft": not args.no_ft,
+        "replicate": ns.replicate,
+        "l_fraction": args.l,
+        "interval_s": args.interval,
+        "host_time_s": round(host_s, 3),
+    }
+    if args.rate is not None:
+        meta["rate"] = args.rate
+    if args.crash:
+        meta["crash"] = args.crash
+        meta["crash2"] = args.crash2
+
+    # SLO evaluation needs the wlat records, so build the report twice:
+    # once to evaluate against, once carrying the verdicts
     report = build_report(
-        observer.registry,
-        {
-            "app": args.app,
-            "procs": args.procs,
-            "ft": not args.no_ft,
-            "replicate": ns.replicate,
-            "l_fraction": args.l,
-            "interval_s": args.interval,
-            "host_time_s": round(host_s, 3),
-        },
-        result=result,
+        observer.registry, meta, result=result,
+        recoveries=observer.recovery_records,
     )
+    slos = (
+        evaluate_report_slos(report, objectives) if objectives else None
+    )
+    if slos is not None:
+        report = build_report(
+            observer.registry, meta, result=result,
+            recoveries=observer.recovery_records, slos=slos,
+        )
     print(render_report(report))
 
     out = args.out or f"benchmarks/OBSERVE_{args.app}.jsonl"
@@ -393,7 +514,13 @@ def run_observe(argv: list) -> int:
         for e in errors:
             print(f"INVALID: {e}", file=sys.stderr)
         return 1
-    return 0
+    failed = [s for s in slos or () if not s.ok]
+    for s in failed:
+        print(
+            f"SLO GATE: {s.objective.spec} violated in "
+            f"{len(s.violations)} window(s)", file=sys.stderr,
+        )
+    return 1 if failed else 0
 
 
 def build_trace_parser() -> argparse.ArgumentParser:
@@ -788,7 +915,9 @@ def main(argv: Optional[list] = None) -> int:
     if args.crash:
         pid_s, frac_s = args.crash.split("@")
         golden = make_cluster(args)
-        t_free = golden.run(make_app(args.app, args.steps, args.size)).wall_time
+        t_free = golden.run(
+            make_app(args.app, args.steps, args.size, args.rate)
+        ).wall_time
         crash_spec = (int(pid_s), float(frac_s) * t_free)
 
     cluster = make_cluster(args)
@@ -810,7 +939,7 @@ def main(argv: Optional[list] = None) -> int:
         cluster.schedule_crash(*crash_spec)
 
     t0 = time.time()
-    result = cluster.run(make_app(args.app, args.steps, args.size))
+    result = cluster.run(make_app(args.app, args.steps, args.size, args.rate))
     host_s = time.time() - t0
 
     print(f"app           {args.app} on {args.procs} simulated nodes")

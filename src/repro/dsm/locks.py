@@ -190,6 +190,15 @@ class LockTable:
         it is re-attached right after the holder (single-fault: at most
         one pointer is missing). Waiters whose requests died with the old
         manager re-enter by re-sending.
+
+        A re-attached head's *pending* request seq died with the old
+        manager; only its last **completed** seq survives (handshake
+        ``completed_seq``). Seeding the entry with that stale value would
+        make the eventual repair grant look like a duplicate of an
+        acquire the waiter already finished — the waiter drops it and
+        the token is lost. Real seqs start at 1, so the entry carries the
+        sentinel seq 0 instead: grants with seq 0 bypass the grantee's
+        completed-seq dedup and are always accepted.
         """
         st = self.manager(lock_id)
         st.chain = [ChainEntry(holder, st.last_seq.get(holder, 0))]
@@ -215,6 +224,6 @@ class LockTable:
             if not heads:
                 break
             for h in heads:
-                st.chain.append(ChainEntry(h, st.last_seq.get(h, 0)))
+                st.chain.append(ChainEntry(h, 0))
                 seen.add(h)
                 walk(h)

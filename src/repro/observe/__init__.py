@@ -41,6 +41,19 @@ from repro.observe.report import (
     validate_report,
     write_jsonl,
 )
+from repro.observe.slo import (
+    DEFAULT_RULES,
+    BurnRule,
+    Objective,
+    SloResult,
+    WindowedLatency,
+    build_timeline,
+    evaluate_report_slos,
+    evaluate_slo,
+    parse_slo,
+    reconvergence,
+    render_timeline,
+)
 from repro.observe.tracing import (
     CausalEdge,
     CritSegment,
@@ -56,11 +69,13 @@ from repro.observe.tracing import (
 )
 
 __all__ = [
+    "BurnRule",
     "CLUSTER_NODE",
     "CausalEdge",
     "ClusterObserver",
     "Counter",
     "CritSegment",
+    "DEFAULT_RULES",
     "FlightRecorder",
     "Gauge",
     "Histogram",
@@ -71,12 +86,21 @@ __all__ = [
     "LatencyHistogram",
     "MetricsRegistry",
     "NodeProbe",
+    "Objective",
+    "SloResult",
     "Span",
     "SpanTracer",
     "Violation",
+    "WindowedLatency",
     "build_report",
+    "build_timeline",
     "compute_critical_path",
+    "evaluate_report_slos",
+    "evaluate_slo",
     "exact_percentile",
+    "parse_slo",
+    "reconvergence",
+    "render_timeline",
     "latency_table",
     "load_jsonl",
     "node_time_totals",

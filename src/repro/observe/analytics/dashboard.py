@@ -20,7 +20,7 @@ from typing import Any, Dict, List
 
 from repro.faultinject.campaign import render_recovery_by_class
 from repro.observe.registry import CLUSTER_NODE
-from repro.observe.report import latency_table
+from repro.observe.report import latency_table, slo_sections
 from repro.render import Table, format_pct
 
 from repro.observe.analytics.aggregate import Artifact, bench_delta
@@ -78,14 +78,17 @@ def _observe_sections(dash: Dict[str, Any]) -> List[str]:
             rec for rec in a.data.get("lats", ())
             if rec["node"] == CLUSTER_NODE and rec.get("count")
         ]
-        if not lats:
-            continue
-        app = a.data["header"].get("app", a.name)
-        out.append(
-            latency_table(
-                lats, title=f"{app}: tail latency by op class (cluster)"
-            ).render()
-        )
+        if lats:
+            app = a.data["header"].get("app", a.name)
+            out.append(
+                latency_table(
+                    lats, title=f"{app}: tail latency by op class (cluster)"
+                ).render()
+            )
+        # schema-3 artifacts: the degradation timeline (windowed p50/p99
+        # with crash/recovery marks) and SLO burn-rate verdicts render
+        # exactly as `repro observe` printed them at collection time
+        out.extend(slo_sections(a.data))
     return out
 
 

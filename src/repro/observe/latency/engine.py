@@ -199,6 +199,27 @@ class LatencyHistogram:
                 return min(max(est, self.min), self.max)
         return self.max  # unreachable unless counts were corrupted
 
+    def count_over(self, threshold: float) -> int:
+        """Observations estimated to exceed ``threshold`` (SLO bad count).
+
+        Exact for thresholds on bucket boundaries; a threshold inside a
+        bucket counts that whole bucket as over, so the estimate is
+        *conservative* (never under-reports badness) with the engine's
+        usual relative-error bound. Exact zeros are never "over" a
+        non-negative threshold.
+        """
+        if threshold < 0.0:
+            return self.count
+        if self.count and threshold >= self.max:
+            return 0
+        over = 0
+        for i, c in self.buckets.items():
+            # bucket i covers (ub(i-1), ub(i)]; entirely at or below the
+            # threshold only when its upper bound is
+            if self.upper_bound(i) > threshold:
+                over += c
+        return over
+
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0

@@ -64,6 +64,16 @@ class NodeProbe:
     def on_barrier(self, episode: int) -> None:
         self.observer.on_barrier(episode)
 
+    def app_latency(self, name: str):
+        """Application-level latency op class for this node.
+
+        How workloads (the session serving app) observe their own
+        request/queueing latencies through the same registry as the
+        protocol sites — interned, so per-request calls are one dict
+        lookup; windowed automatically when the run collects windows.
+        """
+        return self.observer.registry.latency(name, self.pid)
+
 
 class ClusterObserver:
     """Samples a cluster's protocol/FT/simulator state into a registry."""
@@ -75,12 +85,23 @@ class ClusterObserver:
         interval: Optional[float] = None,
         sample_on_barrier: bool = True,
         max_samples: int = 100_000,
+        window_s: Optional[float] = None,
     ) -> None:
         self.cluster = cluster
         self.registry = registry if registry is not None else MetricsRegistry()
+        if window_s is not None:
+            # windowed tail-latency collection (DESIGN.md §13): the clock
+            # callback reads the engine's virtual time and nothing else
+            self.registry.enable_windows(
+                clock=lambda: cluster.engine.now, window_s=window_s
+            )
         self.interval = interval
         self.sample_on_barrier = sample_on_barrier
         self.max_samples = max_samples
+        #: completed recoveries' phase records (tagged with pid), the
+        #: run report's ``recovery`` records and the degradation
+        #: timeline's crash marks
+        self.recovery_records: list = []
         self._probes: Dict[int, NodeProbe] = {}
         self._next_episode = 0
         #: (steps, now) at the previous sample, for the events/sec series
@@ -265,6 +286,7 @@ class ClusterObserver:
         reg.record(
             "ft.recovery_total_s", pid, self.cluster.engine.now, rec["total"]
         )
+        self.recovery_records.append(dict(rec, pid=pid))
 
     def on_llt(self, pid: int, trimmed: Dict[str, int]) -> None:
         """Account one LLT pass (bytes/entries trimmed per rule)."""

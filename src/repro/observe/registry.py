@@ -200,7 +200,12 @@ class MetricsRegistry:
     number via :meth:`record`).
     """
 
-    def __init__(self, enabled: bool = True) -> None:
+    def __init__(
+        self,
+        enabled: bool = True,
+        clock: Optional[Callable[[], float]] = None,
+        window_s: Optional[float] = None,
+    ) -> None:
         self.enabled = enabled
         self._counters: Dict[Tuple[str, int], Counter] = {}
         self._gauges: Dict[Tuple[str, int], Gauge] = {}
@@ -208,6 +213,27 @@ class MetricsRegistry:
         self._latencies: Dict[Tuple[str, int], LatencyHistogram] = {}
         self.series: Dict[Tuple[str, int], List[Tuple[float, float]]] = {}
         self.samples_taken = 0
+        # windowed collection (DESIGN.md §13): when both a clock callback
+        # and a window width are set, latency() transparently hands out
+        # WindowedLatency instances so every existing instrumentation
+        # site also rotates per-window — the clock only *reads* virtual
+        # time, preserving the layer's read-only guarantee
+        self.clock = clock
+        self.window_s = window_s
+
+    def enable_windows(
+        self, clock: Callable[[], float], window_s: float
+    ) -> None:
+        """Turn on windowed latency collection for metrics created later.
+
+        Must run before the first ``latency()`` call for any op class
+        that should rotate (histograms are interned; already-created
+        ones keep their kind).
+        """
+        if window_s <= 0:
+            raise ValueError(f"window_s must be positive: {window_s}")
+        self.clock = clock
+        self.window_s = window_s
 
     # ------------------------------------------------------------------
     # metric factories (interned by (name, node))
@@ -258,7 +284,15 @@ class MetricsRegistry:
         key = (name, node)
         h = self._latencies.get(key)
         if h is None:
-            h = self._latencies[key] = LatencyHistogram(name, node)
+            if self.clock is not None and self.window_s is not None:
+                from repro.observe.slo.windows import WindowedLatency
+
+                h = WindowedLatency(
+                    name, node, clock=self.clock, window_s=self.window_s
+                )
+            else:
+                h = LatencyHistogram(name, node)
+            self._latencies[key] = h
         return h
 
     # ------------------------------------------------------------------
@@ -329,3 +363,18 @@ class MetricsRegistry:
             LatencyHistogram.merged(parts, name=name, node=CLUSTER_NODE)
             if parts else None
         )
+
+    def merged_windows(self, name: str) -> Dict[int, LatencyHistogram]:
+        """Cluster-merged per-window histograms under ``name``.
+
+        Empty when windowed collection is off (or nothing was observed);
+        the input to the SLO engine and the degradation timeline.
+        """
+        from repro.observe.slo.windows import WindowedLatency, merge_windowed
+
+        parts = [
+            h
+            for h in self.latencies_by_name(name).values()
+            if isinstance(h, WindowedLatency)
+        ]
+        return merge_windowed(parts, name=name, node=CLUSTER_NODE)

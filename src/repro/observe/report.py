@@ -12,10 +12,20 @@ line — so CI can parse it with nothing but ``json.loads``:
   distribution, plus one cluster-merged record per op class
   (``node = -1``); carries both summary percentiles and the raw log
   buckets so readers can re-merge across runs (schema 2)
+* ``{"record": "wlat", ...}``     — one per (op class, window) fixed
+  virtual-time window of the cluster-merged distribution, carrying the
+  window index/bounds plus the same log-bucket payload as ``lat``
+  (schema 3; only when the run collected windows)
+* ``{"record": "recovery", ...}`` — one per completed recovery: the pid
+  plus the phase anatomy (detect/restore/handshake/replay/total), the
+  degradation timeline's crash marks (schema 3)
+* ``{"record": "slo", ...}``      — one per evaluated objective: the
+  spec, per-window burn rates and any burn-rule violations (schema 3)
 * ``{"record": "summary", ...}``  — end-of-run totals (last line)
 
 Schema history: 1 = header/series/hist/summary; 2 adds ``lat`` records
-(DESIGN.md §12). Readers accept both.
+(DESIGN.md §12); 3 adds ``wlat``/``recovery``/``slo`` records
+(DESIGN.md §13). Readers accept all three.
 
 Rendering reuses the repo's ASCII reporting layer
 (:mod:`repro.metrics.report`), so Figure 4-style curves and overview
@@ -43,6 +53,7 @@ __all__ = [
     "validate_report",
     "render_report",
     "latency_table",
+    "slo_sections",
     "KEY_SERIES",
     "KEY_LATENCIES",
 ]
@@ -72,17 +83,32 @@ KEY_LATENCIES = ("lat.fetch", "lat.acquire", "lat.barrier")
 _LAT_FIELDS = ("metric", "node", "count", "p50", "p90", "p99", "p999",
                "max", "base", "growth", "buckets")
 
+#: fields every ``wlat`` record additionally carries (window geometry)
+_WLAT_FIELDS = ("metric", "node", "window", "t0", "t1", "window_s",
+                "count", "buckets")
+
+#: fields every ``recovery`` record must carry to anchor a crash mark
+_RECOVERY_FIELDS = ("pid", "crash_time", "total")
+
 
 def build_report(
     registry: MetricsRegistry,
     meta: Dict[str, Any],
     result: Any = None,
+    recoveries: Any = None,
+    slos: Any = None,
 ) -> Dict[str, Any]:
     """Assemble the structured run report from a sampled registry.
 
     ``meta`` carries run identity (app, procs, ft, cadence); ``result``
     is the cluster's :class:`~repro.cluster.RunResult` (optional — unit
-    tests build reports from bare registries).
+    tests build reports from bare registries). ``recoveries`` is the
+    observer's ``recovery_records`` list (crash runs); ``slos`` a list
+    of :class:`~repro.observe.slo.SloResult` (or pre-dumped dicts) when
+    the run evaluated objectives. Windowed (``wlat``) records appear
+    automatically whenever the registry collected windows — cluster-
+    merged only (``node = -1``), which bounds report size at
+    ``windows x op classes`` regardless of cluster size.
     """
     series = [
         {
@@ -122,6 +148,33 @@ def build_report(
                         **merged.to_dict(),
                     }
                 )
+    wlats = []
+    window_s = registry.window_s
+    if window_s is not None:
+        for name in registry.latency_names():
+            for w, h in sorted(registry.merged_windows(name).items()):
+                wlats.append(
+                    {
+                        "record": "wlat",
+                        "metric": name,
+                        "node": CLUSTER_NODE,
+                        "window": w,
+                        "t0": w * window_s,
+                        "t1": (w + 1) * window_s,
+                        "window_s": window_s,
+                        **h.to_dict(),
+                    }
+                )
+    recovery_recs = [
+        {"record": "recovery", **rec} for rec in (recoveries or ())
+    ]
+    slo_recs = [
+        {
+            "record": "slo",
+            **(s.to_dict() if hasattr(s, "to_dict") else dict(s)),
+        }
+        for s in (slos or ())
+    ]
     summary: Dict[str, Any] = {"record": "summary", "samples": registry.samples_taken}
     if result is not None:
         summary.update(
@@ -135,11 +188,17 @@ def build_report(
                 s.checkpoints_taken for s in result.ft_stats if s is not None
             ),
         )
+    header = {"record": "header", "schema": 3, **meta}
+    if wlats and "window_s" not in header:
+        header["window_s"] = window_s
     return {
-        "header": {"record": "header", "schema": 2, **meta},
+        "header": header,
         "series": series,
         "hists": hists,
         "lats": lats,
+        "wlats": wlats,
+        "recoveries": recovery_recs,
+        "slos": slo_recs,
         "summary": summary,
     }
 
@@ -153,13 +212,17 @@ def write_jsonl(path: str, report: Dict[str, Any]) -> None:
             fh.write(json.dumps(rec, sort_keys=True) + "\n")
         for rec in report.get("lats", ()):
             fh.write(json.dumps(rec, sort_keys=True) + "\n")
+        for key in ("wlats", "recoveries", "slos"):
+            for rec in report.get(key, ()):
+                fh.write(json.dumps(rec, sort_keys=True) + "\n")
         fh.write(json.dumps(report["summary"], sort_keys=True) + "\n")
 
 
 def load_jsonl(path: str) -> Dict[str, Any]:
-    """Parse a JSONL run report (schema 1 or 2) into the structured form."""
+    """Parse a JSONL run report (schema 1-3) into the structured form."""
     out: Dict[str, Any] = {
-        "header": None, "series": [], "hists": [], "lats": [], "summary": None,
+        "header": None, "series": [], "hists": [], "lats": [], "wlats": [],
+        "recoveries": [], "slos": [], "summary": None,
     }
     with open(path, "r", encoding="utf-8") as fh:
         for line in fh:
@@ -176,6 +239,12 @@ def load_jsonl(path: str) -> Dict[str, Any]:
                 out["hists"].append(rec)
             elif kind == "lat":
                 out["lats"].append(rec)
+            elif kind == "wlat":
+                out["wlats"].append(rec)
+            elif kind == "recovery":
+                out["recoveries"].append(rec)
+            elif kind == "slo":
+                out["slos"].append(rec)
             elif kind == "summary":
                 out["summary"] = rec
             else:
@@ -220,6 +289,21 @@ def validate_report(report: Dict[str, Any], require_ft: bool = True) -> List[str
         for name in KEY_LATENCIES:
             if name not in lat_metrics:
                 errors.append(f"missing latency op class {name!r}")
+    if schema >= 3:
+        for i, rec in enumerate(report.get("wlats", ())):
+            missing = [f for f in _WLAT_FIELDS if f not in rec]
+            if missing:
+                errors.append(f"wlat record {i} missing fields {missing}")
+        if (report.get("header") or {}).get("window_s") and not report.get(
+            "wlats"
+        ):
+            errors.append(
+                "header declares windowed collection but no wlat records"
+            )
+        for i, rec in enumerate(report.get("recoveries", ())):
+            missing = [f for f in _RECOVERY_FIELDS if f not in rec]
+            if missing:
+                errors.append(f"recovery record {i} missing fields {missing}")
     return errors
 
 
@@ -278,6 +362,72 @@ def _latency_sections(report: Dict[str, Any]) -> List[str]:
                 buckets,
             )
         )
+    return parts
+
+
+def _timeline_metric(report: Dict[str, Any]) -> str:
+    """Op class for the degradation timeline: the serving app's request
+    latency when present, else the busiest windowed class."""
+    counts: Dict[str, int] = {}
+    for rec in report.get("wlats", ()):
+        if rec.get("node", -1) == CLUSTER_NODE:
+            counts[rec["metric"]] = counts.get(rec["metric"], 0) + int(
+                rec.get("count", 0)
+            )
+    if "lat.request" in counts:
+        return "lat.request"
+    return max(counts, key=counts.get) if counts else ""
+
+
+def slo_sections(report: Dict[str, Any]) -> List[str]:
+    """Degradation timeline + SLO burn-rate sections (schema 3)."""
+    # lazy: repro.observe.slo is an optional consumer of this module's
+    # report dicts, not a load-time dependency
+    from repro.observe.slo import Objective, build_timeline, render_timeline
+
+    parts: List[str] = []
+    slos = report.get("slos") or []
+    metric = _timeline_metric(report)
+    if metric:
+        timeline = build_timeline(report, metric=metric)
+        objective = None
+        for rec in slos:
+            if rec.get("metric") == metric:
+                objective = Objective(
+                    rec["metric"],
+                    float(rec["percentile"]),
+                    float(rec["threshold_s"]),
+                )
+                break
+        if timeline is not None:
+            parts.append(render_timeline(timeline, objective))
+    if slos:
+        table = Table(
+            "SLO burn-rate evaluation",
+            ["objective", "windows", "worst burn", "violations", "status"],
+            note="burn = (fraction over threshold) / error budget; a rule "
+            "fires when long- and short-span burns both exceed its limit",
+        )
+        lines: List[str] = []
+        for rec in slos:
+            burns = [float(w.get("burn", 0.0)) for w in rec.get("per_window", ())]
+            table.add(
+                rec.get("spec", "?"),
+                len(rec.get("per_window", ())),
+                f"{max(burns, default=0.0):.2f}",
+                len(rec.get("violations", ())),
+                "OK" if rec.get("ok") else "VIOLATED",
+            )
+            for v in rec.get("violations", ()):
+                lines.append(
+                    f"SLO VIOLATION {rec.get('spec', '?')}: {v['rule']} rule "
+                    f"at window {v['window']} (burn {v['long_burn']:.1f} over "
+                    f"{v['long_windows']}w and {v['short_burn']:.1f} over "
+                    f"{v['short_windows']}w, limit {v['max_burn']:g})"
+                )
+        parts.append(table.render())
+        if lines:
+            parts.append("\n".join(lines))
     return parts
 
 
@@ -352,6 +502,7 @@ def render_report(report: Dict[str, Any]) -> str:
             )
 
     parts.extend(_latency_sections(report))
+    parts.extend(slo_sections(report))
 
     if report["hists"]:
         waits = Table(

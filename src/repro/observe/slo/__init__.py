@@ -1,0 +1,44 @@
+"""Serving-oriented observability: windowed tails, SLOs, degradation.
+
+Three pieces built for the open-loop session workload (DESIGN.md §13):
+
+* :mod:`.windows` — rotate the latency percentile engine into fixed
+  virtual-time windows so reports carry p50/p99 *series over time*;
+* :mod:`.engine` — declarative latency objectives with multi-window
+  burn-rate evaluation (the exit-nonzero SLO gate);
+* :mod:`.timeline` — overlay crash/recovery-phase marks on the windowed
+  p99 series and measure windows-to-SLO-reconvergence.
+"""
+
+from repro.observe.slo.engine import (
+    DEFAULT_RULES,
+    BurnRule,
+    Objective,
+    SloResult,
+    evaluate_report_slos,
+    evaluate_slo,
+    parse_duration,
+    parse_slo,
+)
+from repro.observe.slo.timeline import (
+    build_timeline,
+    reconvergence,
+    render_timeline,
+)
+from repro.observe.slo.windows import WindowedLatency, merge_windowed
+
+__all__ = [
+    "BurnRule",
+    "DEFAULT_RULES",
+    "Objective",
+    "SloResult",
+    "WindowedLatency",
+    "build_timeline",
+    "evaluate_report_slos",
+    "evaluate_slo",
+    "merge_windowed",
+    "parse_duration",
+    "parse_slo",
+    "reconvergence",
+    "render_timeline",
+]

@@ -157,8 +157,15 @@ def ascii_series(
     height: int = 12,
     xlabel: str = "",
     ylabel: str = "",
+    window_s: Optional[float] = None,
 ) -> str:
-    """Render (x, y) series as a crude ASCII scatter/line chart."""
+    """Render (x, y) series as a crude ASCII scatter/line chart.
+
+    When ``window_s`` is given the x values are window start times of a
+    fixed-width virtual-time windowing, and the x-axis line additionally
+    names the window index bounds — readers of the windowed tail-latency
+    charts can map a point back to its window without dividing by hand.
+    """
     pts = [(x, y) for s in series.values() for x, y in s]
     if not pts:
         return f"{title}\n(no data)"
@@ -187,6 +194,13 @@ def ascii_series(
     lines.append(f"y: {y1:.3g} (top) .. {y0:.3g} (bottom) {ylabel}")
     lines.extend("|" + "".join(r) for r in grid)
     lines.append("+" + "-" * width)
-    lines.append(f"x: {x0:.3g} .. {x1:.3g} {xlabel}")
+    if window_s:
+        w0, w1 = int(x0 // window_s), int(x1 // window_s)
+        lines.append(
+            f"x: {x0:.3g} .. {x1:.3g} {xlabel} "
+            f"(windows {w0}..{w1}, {format_duration(window_s)} each)"
+        )
+    else:
+        lines.append(f"x: {x0:.3g} .. {x1:.3g} {xlabel}")
     lines.append("   ".join(legend))
     return "\n".join(lines)

@@ -9,6 +9,7 @@ from repro.apps.barnes import BarnesApp, BarnesConfig
 from repro.apps.counter import CounterApp, CounterConfig
 from repro.apps.kvstore import KvStoreApp, KvStoreConfig
 from repro.apps.lu import LuApp, LuConfig
+from repro.apps.session import SessionApp, SessionConfig
 from repro.apps.water_nsq import WaterNsqApp, WaterNsqConfig
 from repro.apps.water_spatial import WaterSpatialApp, WaterSpatialConfig
 from repro.core import FtConfig, LogOverflowPolicy
@@ -21,6 +22,12 @@ def make_app(name: str, **overrides):
     if name == "kvstore":
         return KvStoreApp(
             KvStoreConfig(**{"steps": 2, "n_keys": 256, "n_stripes": 8, **overrides})
+        )
+    if name == "session":
+        return SessionApp(
+            SessionConfig(
+                **{"steps": 2, "n_keys": 128, "requests_per_step": 6, **overrides}
+            )
         )
     if name == "water-nsq":
         return WaterNsqApp(
@@ -52,7 +59,10 @@ def make_cluster(
     )
 
 
-APP_NAMES = ["counter", "kvstore", "water-nsq", "water-spatial", "barnes", "lu"]
+APP_NAMES = [
+    "counter", "kvstore", "session", "water-nsq", "water-spatial", "barnes",
+    "lu",
+]
 
 
 @pytest.fixture(params=APP_NAMES)

@@ -71,6 +71,66 @@ def test_sweep_rejects_unknown_class_and_nonft_cluster():
         sweep.run_reference()
 
 
+def test_sweep_session_lock_class():
+    """The open-loop serving workload sweeps clean over lock crash
+    points. Its zipfian hot keys build deep wait chains, which the
+    uniform workloads rarely do — this is the coverage that exposed the
+    restore_chain stale-seq token loss."""
+
+    def cluster_factory():
+        return make_cluster(num_procs=4, ft=True, l_fraction=0.1, **FAST_DETECT)
+
+    def app_factory():
+        return make_app("session", rate=5000.0)
+
+    sweep = CrashSweep(cluster_factory, app_factory, every=90, classes=("lock",))
+    summary = sweep.run()
+    assert summary.results, "sweep enumerated no lock crash points"
+    assert summary.ok, [
+        r.error for r in summary.results if r.outcome == "failed"
+    ]
+
+
+def test_crash_manager_before_inflight_grant_completes():
+    """Regression: crash a lock manager one step before its own remote
+    acquire completes — the token is in flight to it and (with a hot
+    enough lock) other waiters are queued behind it. ``restore_chain``
+    used to seed the re-attached head waiter with its last *completed*
+    seq from the handshake; the repair grant then matched the waiter's
+    completed-seq dedup, was dropped, and the token was lost — the run
+    deadlocked. Every such window must now recover to the failure-free
+    result."""
+
+    def cluster_factory():
+        return make_cluster(num_procs=4, ft=True, l_fraction=0.1, **FAST_DETECT)
+
+    def app_factory():
+        return make_app("session", rate=5000.0)
+
+    ref = cluster_factory()
+    tracer = Tracer(ref, kinds={"lock"})
+    ref.run(app_factory())
+    reference = {
+        region.name: ref.shared_snapshot(region).tobytes()
+        for region in ref.regions
+    }
+    # p0 manages L0 (lock_id % n): its remote acquires of L0 are exactly
+    # the windows where the token is in flight to a (crashable) manager
+    points = [
+        ev.step - 1
+        for ev in tracer.events
+        if ev.pid == 0
+        and ev.detail.startswith("acquired L0 from")
+        and ev.step > 1
+    ]
+    assert points, "no remote acquires of a self-managed lock in reference"
+    for step in points:
+        cluster = cluster_factory()
+        cluster.schedule_crash_at_step(0, step)
+        cluster.run(app_factory())
+        check_oracle(cluster, reference)
+
+
 # ======================================================================
 # torn checkpoints (commit-marker protocol)
 # ======================================================================

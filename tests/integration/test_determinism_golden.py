@@ -170,6 +170,49 @@ def test_golden_unchanged_with_sampling_enabled():
     assert observer.registry.merged_latency("lat.ckpt").min > 0.0
 
 
+def test_golden_unchanged_with_windowing_enabled():
+    """Windowed tail-latency rotation must not perturb the observed run.
+
+    With windowing on, every latency observation additionally files into
+    the fixed virtual-time window containing the observation instant.
+    The rotation's clock callback reads the engine's virtual time and
+    nothing else (DESIGN.md §13), so all golden pins must hold, and
+    merging every window back together must reproduce the whole-run
+    distribution exactly.
+    """
+    from repro.observe import ClusterObserver
+
+    cluster = make_cluster(4, ft=True)
+    observer = ClusterObserver(
+        cluster, interval=1e-3, sample_on_barrier=True, window_s=1e-3
+    )
+    result = cluster.run(make_app("counter"))
+    observer.sample()
+    traffic = result.traffic
+    got = {
+        "wall_time_hex": result.wall_time.hex(),
+        "total_bytes": traffic.total_bytes,
+        "total_msgs": traffic.total_msgs,
+        "bytes_by_category": dict(sorted(traffic.bytes_by_category.items())),
+        "msgs_by_category": dict(sorted(traffic.msgs_by_category.items())),
+    }
+    assert got == GOLDEN[("counter", True)]
+    # the rotation actually rotated: multiple windows, and window-merge
+    # equals whole-run merge for every op class that observed anything
+    for name in observer.registry.latency_names():
+        total = observer.registry.merged_latency(name)
+        windows = observer.registry.merged_windows(name)
+        if total is None or not total.count:
+            continue
+        assert windows, name
+        merged = type(total).merged(windows.values(), name=name)
+        assert merged.count == total.count, name
+        assert merged.buckets == total.buckets, name
+        for p in (50.0, 99.0):
+            assert merged.percentile(p) == total.percentile(p), name
+    assert len(observer.registry.merged_windows("lat.acquire")) > 1
+
+
 def test_golden_unchanged_with_span_tracing_enabled():
     """Span tracing must not perturb the traced run.
 

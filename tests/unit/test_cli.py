@@ -217,3 +217,109 @@ def test_crashsweep_rejects_bad_class():
         main(["crashsweep", "not-an-app"])
     with pytest.raises(ValueError, match="unknown crash-point classes"):
         main(["crashsweep", "counter", "--classes", "bogus"])
+
+
+# ---------------------------------------------------------------------------
+# open-loop serving workload + SLO gate
+# ---------------------------------------------------------------------------
+def test_session_app_run(capsys):
+    assert main(["session", "--procs", "4", "--steps", "2",
+                 "--rate", "5000"]) == 0
+    out = capsys.readouterr().out
+    assert "session on 4 simulated nodes" in out
+
+
+def test_observe_session_windowed_slo_pass(tmp_path, capsys):
+    """The serving run emits windowed series (request + queueing delay),
+    renders the timeline and the burn-rate table, and a met SLO exits 0."""
+    out_path = tmp_path / "session.jsonl"
+    rc = main([
+        "observe", "session", "--procs", "4", "--steps", "2",
+        "--rate", "5000", "--slo", "p99(lat.request)<50ms",
+        "--out", str(out_path),
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "degradation timeline" in out
+    assert "SLO burn-rate evaluation" in out
+
+    from repro.observe import load_jsonl, validate_report
+
+    report = load_jsonl(str(out_path))
+    assert validate_report(report) == []
+    assert report["header"]["window_s"] == pytest.approx(1e-3)
+    wmetrics = {r["metric"] for r in report["wlats"]}
+    assert {"lat.request", "lat.queue"} <= wmetrics
+    assert report["slos"] and report["slos"][0]["ok"] is True
+
+
+def test_observe_session_slo_violation_gates_nonzero(tmp_path, capsys):
+    rc = main([
+        "observe", "session", "--procs", "4", "--steps", "2",
+        "--rate", "5000", "--slo", "p99(lat.request)<1us",
+        "--out", str(tmp_path / "bad.jsonl"),
+    ])
+    assert rc == 1
+    assert "SLO GATE" in capsys.readouterr().err
+
+
+def test_observe_slo_requires_windowing(capsys):
+    rc = main(["observe", "session", "--window", "0",
+               "--slo", "p99(lat.request)<5ms"])
+    assert rc == 2
+    assert "--slo requires windowed collection" in capsys.readouterr().err
+
+
+def test_observe_rejects_bad_slo_spec(capsys):
+    rc = main(["observe", "session", "--slo", "p99[lat]<5ms"])
+    assert rc == 2
+    assert "bad --slo" in capsys.readouterr().err
+
+
+def test_observe_session_crash_carries_recovery_records(tmp_path, capsys):
+    out_path = tmp_path / "crash.jsonl"
+    rc = main([
+        "observe", "session", "--procs", "4", "--steps", "6",
+        "--rate", "2500", "--crash", "1@0.2",
+        "--out", str(out_path),
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "crash: p1 down" in out
+
+    from repro.observe import load_jsonl
+
+    report = load_jsonl(str(out_path))
+    assert report["recoveries"] and report["recoveries"][0]["pid"] == 1
+
+
+def test_crashsweep_session_subcommand(tmp_path, capsys):
+    out_path = tmp_path / "sweep_session.json"
+    rc = main([
+        "crashsweep", "session",
+        "--procs", "4", "--rate", "5000",
+        "--every", "200", "--classes", "lock,recovery",
+        "--out", str(out_path),
+    ])
+    assert rc == 0
+    assert "SWEEP OK" in capsys.readouterr().out
+    import json
+
+    payload = json.loads(out_path.read_text())
+    assert payload["app"] == "session"
+    assert payload["ok"] is True
+
+
+def test_observe_overlapping_failures_exit_with_clean_error(tmp_path, capsys):
+    """A crash schedule beyond the single-fault model (second fail-stop
+    inside the first's recovery window, no replication) must exit
+    nonzero with a diagnosis, not a traceback."""
+    rc = main([
+        "observe", "session", "--procs", "4", "--steps", "6",
+        "--rate", "2500", "--crash", "1@0.2", "--crash2", "2@0.6",
+        "--out", str(tmp_path / "overlap.jsonl"),
+    ])
+    assert rc == 1
+    err = capsys.readouterr().err
+    assert "overlapping failures" in err
+    assert "pair --crash2 with --replicate" in err

@@ -125,6 +125,26 @@ def test_restore_chain_headless_segment_reattached():
     assert [e.acquirer for e in m.chain] == [0, 2, 3, 1]
 
 
+def test_restore_chain_headless_head_gets_sentinel_seq():
+    """A re-attached head's pending seq died with the old manager.
+
+    Its handshake ``completed_seq`` (mirrored into ``last_seq``) is the
+    seq of an acquire it already *finished* — seeding the chain entry
+    with it makes the repair grant look like a duplicate, the waiter
+    drops it, and the token is lost (deadlock). The entry must carry the
+    sentinel seq 0, which grantees always accept.
+    """
+    t = LockTable(pid=0, num_procs=N)
+    m = t.manager(0)
+    # handshake: waiter 2's last COMPLETED acquire had seq 11
+    m.last_seq[2] = 11
+    # holder 0 (us, recovered), lost edge 0->2; live edge 2->3 (seq 14)
+    t.restore_chain(0, holder=0, edges={2: (3, 14)})
+    assert [(e.acquirer, e.seq) for e in m.chain] == [(0, 0), (2, 0), (3, 14)]
+    # dedupe state for future re-sent requests is untouched
+    assert m.last_seq[2] == 11
+
+
 def test_restore_chain_cycle_guard():
     t = LockTable(pid=0, num_procs=N)
     t.manager(0)

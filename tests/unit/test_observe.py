@@ -214,8 +214,10 @@ def test_report_roundtrip_and_validation(tmp_path):
     reg.latency("lat.barrier", 1).observe(1e-3)
     reg.sample(0.25)
     report = build_report(reg, {"app": "unit"})
-    assert report["header"]["schema"] == 2
+    assert report["header"]["schema"] == 3
     assert validate_report(report) == []
+    # no windowed collection -> no wlat records, and that's valid
+    assert report["wlats"] == [] and "window_s" not in report["header"]
     # every op class grows a cluster-merged record alongside the
     # per-node ones
     merged = {r["metric"] for r in report["lats"] if r["node"] == CLUSTER_NODE}
@@ -262,3 +264,74 @@ def test_load_jsonl_rejects_unknown_record(tmp_path):
     path.write_text('{"record": "mystery"}\n')
     with pytest.raises(ValueError, match="mystery"):
         load_jsonl(str(path))
+
+
+# ---------------------------------------------------------------------------
+# schema 3: windowed latency, recovery and SLO records
+# ---------------------------------------------------------------------------
+def _windowed_registry():
+    """A registry collecting windows off a fake virtual clock."""
+    now = {"t": 0.0}
+    reg = MetricsRegistry()
+    reg.enable_windows(lambda: now["t"], 1e-3)
+    reg.counter("ft.log_volatile_bytes", 0).inc(10)
+    reg.counter("ft.log_saved_bytes", 0).inc(4)
+    reg.counter("dsm.diff_bytes_sent", 0).inc(2)
+    reg.gauge("ft.ckpts_retained", 0, lambda: 2.0)
+    for t, v in [(0.1e-3, 5e-5), (0.2e-3, 2e-4), (2.5e-3, 8e-4)]:
+        now["t"] = t
+        reg.latency("lat.request", 0).observe(v)
+    reg.latency("lat.fetch", 0).observe(5e-5)
+    reg.latency("lat.acquire", 0).observe(2e-4)
+    reg.latency("lat.barrier", 1).observe(1e-3)
+    reg.sample(0.25)
+    return reg
+
+
+def test_schema3_roundtrip_with_windows_recoveries_and_slos(tmp_path):
+    from repro.observe import evaluate_report_slos, parse_slo
+
+    reg = _windowed_registry()
+    recovery = {
+        "pid": 1, "crash_time": 1.2e-3, "total": 0.9e-3,
+        "detect": 0.5e-3, "restore": 0.1e-3, "handshake": 0.2e-3,
+        "replay": 0.1e-3,
+    }
+    base = build_report(reg, {"app": "unit"}, recoveries=[recovery])
+    slos = evaluate_report_slos(base, [parse_slo("p99(lat.request)<50ms")])
+    report = build_report(
+        reg, {"app": "unit"}, recoveries=[recovery], slos=slos
+    )
+    assert report["header"]["schema"] == 3
+    assert report["header"]["window_s"] == pytest.approx(1e-3)
+    assert validate_report(report) == []
+    # wlat records are cluster-merged only, one per non-empty window
+    req = [r for r in report["wlats"] if r["metric"] == "lat.request"]
+    assert [r["window"] for r in req] == [0, 2]
+    assert all(r["node"] == CLUSTER_NODE for r in report["wlats"])
+    assert req[0]["count"] == 2 and req[1]["count"] == 1
+
+    path = tmp_path / "schema3.jsonl"
+    write_jsonl(str(path), report)
+    again = load_jsonl(str(path))
+    assert validate_report(again) == []
+    assert again["wlats"] == report["wlats"]
+    assert again["recoveries"] == report["recoveries"]
+    assert [s["ok"] for s in again["slos"]] == [True]
+
+
+def test_validate_flags_windowed_header_without_wlats():
+    reg = _windowed_registry()
+    report = build_report(reg, {"app": "unit"})
+    report["wlats"] = []
+    errors = validate_report(report)
+    assert any("no wlat records" in e for e in errors)
+
+
+def test_validate_flags_incomplete_wlat_and_recovery_records():
+    reg = _windowed_registry()
+    report = build_report(reg, {"app": "unit"}, recoveries=[{"pid": 0}])
+    del report["wlats"][0]["window_s"]
+    errors = validate_report(report)
+    assert any("wlat record 0 missing" in e for e in errors)
+    assert any("recovery record 0 missing" in e for e in errors)

@@ -89,6 +89,22 @@ def test_ascii_series_constant_series():
     assert grid[height // 2].count("o") == 2
 
 
+def test_ascii_series_window_labelled_x_axis():
+    """With ``window_s`` the x-axis names the window-index bounds, so a
+    point on a windowed tail-latency chart maps back to its window."""
+    out = ascii_series(
+        "S",
+        {"p99": [(0.0, 1.0), (5.5e-3, 2.0)]},
+        xlabel="s",
+        window_s=1e-3,
+    )
+    xline = next(l for l in out.splitlines() if l.startswith("x:"))
+    assert "(windows 0..5, 1.000 ms each)" in xline
+    # and without window_s the axis is unchanged
+    plain = ascii_series("S", {"p99": [(0.0, 1.0), (5.5e-3, 2.0)]}, xlabel="s")
+    assert "windows" not in plain
+
+
 def test_ascii_series_single_point():
     out = ascii_series("S", {"pt": [(3.0, 7.0)]}, width=20, height=5)
     grid = [l[1:] for l in out.splitlines() if l.startswith("|")]
